@@ -1,0 +1,89 @@
+"""Decoder benchmarks: MWPM vs union-find (DESIGN.md ablation).
+
+MWPM is the paper's decoder (best accuracy/latency trade-off, §II-D);
+union-find is the cited near-linear-time alternative.  The bench
+measures batch decode throughput on identical noisy records and prints
+the accuracy comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import RepetitionCode, XXZZCode, build_memory_experiment
+from repro.decoders import decoder_for
+from repro.noise import DepolarizingNoise, NoiseModel, run_batch_noisy
+
+SHOTS = 2000
+
+
+@pytest.fixture(scope="module")
+def noisy_records():
+    exp = build_memory_experiment(XXZZCode(3, 3))
+    noise = NoiseModel([DepolarizingNoise(0.02)])
+    rec = run_batch_noisy(exp.circuit, noise, SHOTS, rng=11)
+    return exp, rec
+
+
+def test_mwpm_decode(benchmark, noisy_records):
+    exp, rec = noisy_records
+    decoder = decoder_for(exp, "mwpm")
+
+    def run():
+        return decoder.decode_batch(exp, rec)
+
+    result = benchmark(run)
+    assert result.num_shots == SHOTS
+
+
+def test_unionfind_decode(benchmark, noisy_records):
+    exp, rec = noisy_records
+    decoder = decoder_for(exp, "union-find")
+
+    def run():
+        return decoder.decode_batch(exp, rec)
+
+    benchmark(run)
+
+
+def test_decoder_accuracy_ablation(benchmark, noisy_records, capsys):
+    """Accuracy row: MWPM vs union-find on the same records."""
+    exp, rec = noisy_records
+    mwpm = benchmark.pedantic(
+        lambda: decoder_for(exp, "mwpm").decode_batch(exp, rec),
+        rounds=1, iterations=1)
+    uf = decoder_for(exp, "union-find").decode_batch(exp, rec)
+    with capsys.disabled():
+        print(f"\n[ablation] xxzz-(3,3) p=2%: "
+              f"mwpm LER={mwpm.logical_error_rate:.4f}  "
+              f"union-find LER={uf.logical_error_rate:.4f}")
+    assert mwpm.logical_error_rate <= uf.logical_error_rate + 0.03
+
+
+def test_mwpm_large_repetition(benchmark):
+    """Decode the biggest repetition code of Fig. 6 under heavy noise
+    (stresses the blossom fallback for dense event sets)."""
+    exp = build_memory_experiment(RepetitionCode(15))
+    noise = NoiseModel([DepolarizingNoise(0.05)])
+    rec = run_batch_noisy(exp.circuit, noise, 500, rng=13)
+    decoder = decoder_for(exp, "mwpm")
+
+    def run():
+        return decoder.decode_batch(exp, rec)
+
+    benchmark(run)
+
+
+def test_readout_mode_ablation(benchmark, capsys):
+    """DESIGN.md ablation: ancilla-parity vs data-readout decoding."""
+    exp = build_memory_experiment(RepetitionCode(5))
+    noise = NoiseModel([DepolarizingNoise(0.01)])
+    rec = run_batch_noisy(exp.circuit, noise, SHOTS, rng=17)
+    ancilla = benchmark.pedantic(
+        lambda: decoder_for(exp, use_final_data=False).decode_batch(exp, rec),
+        rounds=1, iterations=1)
+    data = decoder_for(exp, use_final_data=True).decode_batch(exp, rec)
+    with capsys.disabled():
+        print(f"\n[ablation] rep-(5,1) p=1%: ancilla-readout "
+              f"LER={ancilla.logical_error_rate:.4f}  data-readout "
+              f"LER={data.logical_error_rate:.4f}")
+    assert data.logical_error_rate <= ancilla.logical_error_rate + 0.02

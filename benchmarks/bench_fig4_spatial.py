@@ -1,0 +1,20 @@
+"""Figure 4 bench — spatial damping field S(d) around the impact."""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.experiments import fig4_spatial
+
+pytestmark = pytest.mark.figure
+
+
+def test_fig4_field(benchmark, capsys):
+    data = benchmark(fig4_spatial.run)
+    with capsys.disabled():
+        print("\n" + ascii_table(
+            data.radial_profile(),
+            title="Fig. 4 — injection probability by distance (n=1)"))
+    profile = {r["distance"]: r["injection_prob"]
+               for r in data.radial_profile()}
+    assert profile[0] == pytest.approx(1.0)
+    assert profile[1] == pytest.approx(0.25)

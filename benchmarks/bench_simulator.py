@@ -1,0 +1,101 @@
+"""Core-simulator benchmarks + the batch-vs-single ablation.
+
+The batched tableau simulator is the workhorse of every campaign; this
+bench records its throughput and quantifies the vectorization speedup
+over the single-shot reference implementation (DESIGN.md §3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import RepetitionCode, XXZZCode, build_memory_experiment
+from repro.noise import DepolarizingNoise, NoiseModel, run_batch_noisy
+from repro.stabilizer import (
+    BatchTableauSimulator,
+    TableauSimulator,
+    random_clifford_circuit,
+)
+
+BATCH = 1024
+
+
+@pytest.fixture(scope="module")
+def xxzz_circuit():
+    return build_memory_experiment(XXZZCode(3, 3)).circuit
+
+
+@pytest.fixture(scope="module")
+def random_circuit():
+    return random_clifford_circuit(24, 400, rng=3, measure_prob=0.05)
+
+
+def test_batch_memory_circuit(benchmark, xxzz_circuit):
+    """Throughput: 1024 noiseless shots of the xxzz-(3,3) memory."""
+
+    def run():
+        return BatchTableauSimulator(xxzz_circuit.num_qubits, BATCH,
+                                     rng=1).run(xxzz_circuit)
+
+    records = benchmark(run)
+    assert records.shape[0] == BATCH
+
+
+def test_batch_random_clifford(benchmark, random_circuit):
+    """Throughput: 1024 shots of a 24-qubit 400-gate random circuit."""
+
+    def run():
+        return BatchTableauSimulator(24, BATCH, rng=2).run(random_circuit)
+
+    benchmark(run)
+
+
+def test_single_shot_reference(benchmark, xxzz_circuit):
+    """Single-shot baseline for the vectorization ablation."""
+
+    def run():
+        return TableauSimulator(xxzz_circuit.num_qubits, rng=3).run(
+            xxzz_circuit)
+
+    benchmark(run)
+
+
+def test_batch_vs_single_speedup(benchmark, xxzz_circuit, capsys):
+    """Ablation: measured speedup of the vectorized batch (prints row)."""
+    import time
+
+    t0 = time.perf_counter()
+    benchmark.pedantic(
+        lambda: BatchTableauSimulator(xxzz_circuit.num_qubits, BATCH,
+                                      rng=1).run(xxzz_circuit),
+        rounds=1, iterations=1)
+    batch_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for s in range(8):
+        TableauSimulator(xxzz_circuit.num_qubits, rng=s).run(xxzz_circuit)
+    single_s = (time.perf_counter() - t0) / 8 * BATCH
+    with capsys.disabled():
+        print(f"\n[ablation] batch {BATCH} shots: {batch_s:.3f}s; "
+              f"single-shot extrapolated: {single_s:.1f}s; "
+              f"speedup ~{single_s / batch_s:.0f}x")
+    assert single_s > batch_s
+
+
+def test_noisy_execution(benchmark, xxzz_circuit):
+    """Noisy batch execution (depolarizing p=1%), the campaign inner loop."""
+    noise = NoiseModel([DepolarizingNoise(0.01)])
+
+    def run():
+        return run_batch_noisy(xxzz_circuit, noise, 512, rng=5)
+
+    benchmark(run)
+
+
+def test_measurement_heavy_circuit(benchmark):
+    """Stress the vectorized measurement path (random + deterministic)."""
+    circ = random_clifford_circuit(16, 300, rng=9, measure_prob=0.3,
+                                   reset_prob=0.1)
+
+    def run():
+        return BatchTableauSimulator(16, 512, rng=4).run(circ)
+
+    benchmark(run)

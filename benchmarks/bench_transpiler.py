@@ -1,0 +1,89 @@
+"""Transpiler benchmarks + the layout/routing ablations.
+
+SWAP overhead is the mechanism behind the paper's Observation VIII —
+each inserted SWAP is an extra fault site.  This bench records transpile
+latency and prints the SWAP-count ablation across layout strategies and
+routing policies.
+"""
+
+import pytest
+
+from repro.arch import cairo, linear, mesh
+from repro.codes import RepetitionCode, XXZZCode, build_memory_experiment
+from repro.transpile import transpile
+
+
+@pytest.fixture(scope="module")
+def xxzz_exp():
+    return build_memory_experiment(XXZZCode(3, 3))
+
+
+@pytest.fixture(scope="module")
+def rep_exp():
+    return build_memory_experiment(RepetitionCode(11))
+
+
+def test_transpile_xxzz_to_mesh(benchmark, xxzz_exp):
+    arch = mesh(5, 4)
+
+    def run():
+        return transpile(xxzz_exp.circuit, arch, layout="best")
+
+    routed = benchmark(run)
+    assert routed.swap_count > 0
+
+
+def test_transpile_rep_to_heavy_hex(benchmark, rep_exp):
+    arch = cairo()
+
+    def run():
+        return transpile(rep_exp.circuit, arch, layout="best")
+
+    benchmark(run)
+
+
+def test_layout_ablation(benchmark, xxzz_exp, rep_exp, capsys):
+    """SWAP counts per layout strategy (DESIGN.md routing ablation)."""
+    rows = benchmark.pedantic(lambda: [], rounds=1, iterations=1)
+    for label, exp, arch in [("xxzz-(3,3)@mesh-5x4", xxzz_exp, mesh(5, 4)),
+                             ("rep-(11,1)@linear-22", rep_exp, linear(22))]:
+        for layout in ["trivial", "greedy", "snake", "best"]:
+            routed = transpile(exp.circuit, arch, layout=layout)
+            rows.append((label, layout, routed.swap_count))
+    with capsys.disabled():
+        print("\n[ablation] layout strategy vs SWAP count")
+        for label, layout, swaps in rows:
+            print(f"  {label:24s} {layout:8s} {swaps:4d} swaps")
+    best = {label: min(s for l2, lay, s in rows if l2 == label)
+            for label, _, _ in rows}
+    for label, layout, swaps in rows:
+        if layout == "best":
+            assert swaps == best[label]
+
+
+def test_routing_policy_ablation(benchmark, rep_exp, capsys):
+    """Naive walk-first vs SABRE-style lookahead routing."""
+    arch = mesh(5, 6)
+    naive = benchmark.pedantic(
+        lambda: transpile(rep_exp.circuit, arch, layout="snake",
+                          routing="walk-first"),
+        rounds=1, iterations=1)
+    smart = transpile(rep_exp.circuit, arch, layout="snake",
+                      routing="lookahead")
+    with capsys.disabled():
+        print(f"\n[ablation] rep-(11,1)@mesh-5x6 routing: "
+              f"walk-first={naive.swap_count} swaps, "
+              f"lookahead={smart.swap_count} swaps")
+    assert smart.swap_count <= naive.swap_count
+
+
+def test_observation8_swap_mechanism(benchmark, xxzz_exp, capsys):
+    """The connectivity effect: linear forces ~3x the SWAPs of mesh."""
+    on_mesh = benchmark.pedantic(
+        lambda: transpile(xxzz_exp.circuit, mesh(5, 4), layout="best"),
+        rounds=1, iterations=1)
+    on_line = transpile(xxzz_exp.circuit, linear(18), layout="best")
+    with capsys.disabled():
+        print(f"\n[fig8 mechanism] xxzz-(3,3): mesh {on_mesh.swap_count} "
+              f"swaps vs linear {on_line.swap_count} swaps")
+    assert on_line.swap_count > 2 * on_mesh.swap_count

@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+Figure benchmarks regenerate each paper figure's data series at reduced
+shot counts (statistics scale with shots; the series *shape* is already
+visible at bench scale) and print the same rows the paper reports.
+Full-scale numbers live in EXPERIMENTS.md / results/.
+"""
+
+import os
+
+import pytest
+
+# Keep worker pools modest under the benchmark runner.
+os.environ.setdefault("REPRO_WORKERS", "8")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure: regenerates a paper figure's data series")
+
+
+@pytest.fixture(scope="session")
+def bench_shots():
+    """Shots per configuration point at bench scale."""
+    return 200

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Pick the best hardware topology for a code under radiation (Fig. 8).
+
+For each candidate architecture, transpiles the distance-(3,3) XXZZ code,
+injects a strike at each of a few root qubits, and reports SWAP overhead
+alongside the median logical error — the decision the paper's
+Observation VIII codifies ("match the graph's connectivity to the code's
+stabilizer degree").
+
+Run:  python examples/architecture_selection.py
+"""
+
+from repro.analysis.report import ascii_table
+from repro.injection import (
+    ArchSpec,
+    Campaign,
+    CodeSpec,
+    FaultSpec,
+    InjectionTask,
+)
+from repro.experiments.common import used_physical_qubits
+
+CODE = CodeSpec("xxzz", (3, 3))
+CANDIDATES = [
+    ArchSpec("complete", (18,)),
+    ArchSpec("mesh", (5, 4)),
+    ArchSpec("almaden"),
+    ArchSpec("cambridge"),
+    ArchSpec("linear", (18,)),
+]
+SHOTS = 600
+ROOTS_PER_ARCH = 6
+
+
+def main() -> None:
+    tasks = []
+    for arch in CANDIDATES:
+        roots = used_physical_qubits(CODE, arch)
+        stride = max(1, len(roots) // ROOTS_PER_ARCH)
+        for root in roots[::stride][:ROOTS_PER_ARCH]:
+            for t in (0, 2, 5):
+                tasks.append(InjectionTask(
+                    code=CODE, arch=arch,
+                    fault=FaultSpec(kind="radiation", root_qubit=root,
+                                    time_index=t),
+                    intrinsic_p=0.01, shots=SHOTS,
+                ).with_tags(arch=arch.label, root=root))
+    print(f"running {len(tasks)} injection points "
+          f"({SHOTS} shots each) ...")
+    results = Campaign(tasks, root_seed=88).run()
+
+    rows = []
+    for arch in CANDIDATES:
+        sub = results.filter_tags(arch=arch.label)
+        rows.append({
+            "architecture": arch.label,
+            "avg_degree": round(arch.build().average_degree(), 2),
+            "swaps": sub[0].swap_count,
+            "median_ler": sub.median_rate(),
+            "pooled_ler": sub.pooled_rate(),
+        })
+    rows.sort(key=lambda r: r["median_ler"])
+    print()
+    print(ascii_table(rows, title="XXZZ-(3,3): architecture ranking "
+                                  "(radiation strikes, p=1%)"))
+    best = rows[0]
+    print(f"\nrecommendation: {best['architecture']} "
+          f"(median LER {best['median_ler']:.1%}, "
+          f"{best['swaps']} SWAPs). Higher-degree graphs cut routing "
+          f"overhead, which removes fault-spread sites (Observation VIII).")
+
+
+if __name__ == "__main__":
+    main()

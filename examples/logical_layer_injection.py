@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Propagate radiation damage to the algorithm level (paper §VI).
+
+The paper's future-work proposal, implemented end to end:
+
+1. a *physical-layer* campaign measures the post-QEC logical error rate
+   of an xxzz-(3,3) patch with and without a radiation strike;
+2. those rates become per-logical-qubit fault probabilities in a
+   *logical-layer* circuit (a 4-qubit logical GHZ preparation);
+3. we measure how far the algorithm's output distribution shifts and
+   which logical qubit is most critical to protect.
+
+Run:  python examples/logical_layer_injection.py
+"""
+
+from repro.analysis.report import ascii_table
+from repro.circuits import Circuit
+from repro.injection import (
+    ArchSpec,
+    Campaign,
+    CodeSpec,
+    FaultSpec,
+    InjectionTask,
+)
+from repro.logical import criticality_ranking, logical_fault_injection
+
+
+def measure_patch_rates() -> tuple[float, float]:
+    """Physical layer: post-QEC LER of a quiet vs struck code patch."""
+    common = dict(code=CodeSpec("xxzz", (3, 3)),
+                  arch=ArchSpec("mesh", (5, 4)), intrinsic_p=0.01,
+                  shots=2000)
+    quiet = InjectionTask(**common)
+    struck = InjectionTask(fault=FaultSpec(kind="radiation", root_qubit=2,
+                                           time_index=1), **common)
+    results = Campaign([quiet, struck], root_seed=42).run()
+    return (results[0].logical_error_rate, results[1].logical_error_rate)
+
+
+def main() -> None:
+    base, struck = measure_patch_rates()
+    print("physical layer (xxzz-(3,3) on mesh-5x4, p=1%):")
+    print(f"  quiet patch LER:  {base:.2%}")
+    print(f"  struck patch LER: {struck:.2%}  (strike at qubit 2, t_1)")
+
+    # Logical layer: 4 encoded qubits prepare a logical GHZ state.
+    ghz = Circuit(4, name="logical-ghz")
+    ghz.h(0)
+    for i in range(3):
+        ghz.cx(i, i + 1)
+    for i in range(4):
+        ghz.measure(i, i)
+
+    rates = {q: base for q in range(4)}
+    rates[2] = struck  # logical qubit 2 lives on the struck patch
+    impact = logical_fault_injection(ghz, rates, shots=6000, rng=3)
+
+    print(f"\nlogical GHZ-4 with logical qubit 2 on the struck patch:")
+    print(f"  total-variation distance from ideal: {impact.tv_distance:.3f}")
+    rows = [{"outcome": k, "ideal": i, "faulty": f}
+            for k, i, f in impact.top_outcomes(6)]
+    print(ascii_table(rows, title="  output distribution shift"))
+
+    print("\nwhich logical qubit is most critical to shield?")
+    ranking = criticality_ranking(ghz, base_rate=base, struck_rate=struck,
+                                  shots=4000)
+    print(ascii_table(ranking, title="  strike-placement ranking"))
+    print("\nMid/late-chain strikes are the most damaging: their flips "
+          "\nbreak the GHZ correlation outright, while a fault on the "
+          "\nroot qubit propagates coherently through every descendant "
+          "\nCNOT and partially preserves the output support — the "
+          "\nlogical-layer counterpart of the paper's DAG argument "
+          "(Observation VII).")
+
+
+if __name__ == "__main__":
+    main()

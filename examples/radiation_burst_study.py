@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Follow one radiation burst through a surface code (paper §III/V-A).
+
+A particle strikes physical qubit 2 of a 5x4 lattice running the
+distance-(3,3) XXZZ code.  The script walks the ten temporal samples of
+the transient-fault model T(t)S(d), printing the logical error rate as
+the deposited energy dissipates — the time axis of the paper's Fig. 5 —
+and contrasts the spreading fault with a confined (gap-engineered) one,
+the paper's Observation VI scenario.
+
+Run:  python examples/radiation_burst_study.py
+"""
+
+import dataclasses
+
+from repro import (
+    DepolarizingNoise,
+    NoiseModel,
+    RadiationEvent,
+    XXZZCode,
+    build_memory_experiment,
+    decoder_for,
+    run_batch_noisy,
+    transpile,
+)
+from repro.arch import mesh
+
+SHOTS = 1500
+ROOT = 2
+
+
+def main() -> None:
+    arch = mesh(5, 4)
+    code = XXZZCode(3, 3)
+    experiment = build_memory_experiment(code)
+    routed = transpile(experiment.circuit, arch, layout="best")
+    experiment = dataclasses.replace(experiment, circuit=routed.circuit)
+    decoder = decoder_for(experiment, use_final_data=False)
+    print(f"{code} transpiled to {arch.name}: "
+          f"{routed.swap_count} SWAPs, {len(routed.circuit)} gates")
+
+    print(f"\nburst at physical qubit {ROOT}; {SHOTS} shots per sample")
+    header = f"{'sample':>6} {'t':>6} {'root prob':>10} " \
+             f"{'LER (spread)':>13} {'LER (confined)':>15}"
+    print(header)
+    print("-" * len(header))
+    for k in range(10):
+        rates = {}
+        for spread in (True, False):
+            event = RadiationEvent(ROOT, arch.distances_from(ROOT),
+                                   arch.num_qubits, spread=spread)
+            noise = NoiseModel([event.channel(k), DepolarizingNoise(0.01)])
+            records = run_batch_noisy(experiment.circuit, noise, SHOTS,
+                                      rng=100 + k)
+            rates[spread] = decoder.decode_batch(
+                experiment, records).logical_error_rate
+        event = RadiationEvent(ROOT, arch.distances_from(ROOT),
+                               arch.num_qubits)
+        print(f"{k:>6} {event.times[k]:>6.2f} "
+              f"{event.root_probability(k):>10.4f} "
+              f"{rates[True]:>13.3f} {rates[False]:>15.3f}")
+
+    print("\nReading: at the strike (sample 0) the fault dominates even a"
+          "\n1%-noise device; confining the spread (charge wells, paper"
+          "\nObservation VI) recovers a large part of the loss.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+The environment ships setuptools without wheel; modern editable installs
+require bdist_wheel, so we fall back to setup.py-based develop mode.
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

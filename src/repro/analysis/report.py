@@ -1,0 +1,60 @@
+"""Plain-text report rendering (ASCII tables, CSV) for experiment output.
+
+The benchmark harness prints the same rows/series the paper's figures
+report; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Sequence
+
+
+def ascii_table(rows: Sequence[Dict[str, object]],
+                columns: Optional[Sequence[str]] = None,
+                title: str = "") -> str:
+    """Render dict rows as a fixed-width ASCII table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.4f}"
+        return str(v)
+
+    cells = [[fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells))
+              for i, c in enumerate(columns)]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    body = "\n".join(" | ".join(row[i].ljust(widths[i])
+                                for i in range(len(columns)))
+                     for row in cells)
+    out = [header, sep, body]
+    if title:
+        out.insert(0, title)
+    return "\n".join(out)
+
+
+def to_csv(rows: Sequence[Dict[str, object]],
+           columns: Optional[Sequence[str]] = None) -> str:
+    """Serialize dict rows to CSV text."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(columns),
+                            extrasaction="ignore")
+    writer.writeheader()
+    for r in rows:
+        writer.writerow(r)
+    return buf.getvalue()
+
+
+def percent(x: float) -> str:
+    """Format a rate the way the paper quotes it (e.g. ``21.3%``)."""
+    return f"{100.0 * x:.1f}%"

@@ -1,0 +1,31 @@
+"""Quantum-device architecture graphs (paper §V-D / Fig. 8)."""
+
+from .graph import ArchitectureGraph
+from .library import (
+    REGISTRY,
+    almaden,
+    brooklyn,
+    by_name,
+    cairo,
+    cambridge,
+    complete,
+    heavy_hex,
+    johannesburg,
+    linear,
+    mesh,
+)
+
+__all__ = [
+    "ArchitectureGraph",
+    "REGISTRY",
+    "by_name",
+    "linear",
+    "mesh",
+    "complete",
+    "almaden",
+    "johannesburg",
+    "cairo",
+    "cambridge",
+    "brooklyn",
+    "heavy_hex",
+]

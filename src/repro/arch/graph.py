@@ -1,0 +1,164 @@
+"""Architecture (coupling) graphs.
+
+The paper models a quantum chip as an undirected *architecture graph*
+whose nodes are physical qubits and whose unit-weight edges are the
+allowed two-qubit interactions (§III-B).  Radiation spreads along graph
+distance; the transpiler must respect adjacency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+
+class ArchitectureGraph:
+    """An undirected unit-weight coupling graph over physical qubits.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(a, b)`` pairs.
+    num_qubits:
+        Number of physical qubits; inferred from the edges when omitted.
+    name:
+        Human-readable identifier (used in reports).
+    positions:
+        Optional ``{qubit: (x, y)}`` layout hints for rendering.
+    """
+
+    def __init__(self, edges: Iterable[Tuple[int, int]],
+                 num_qubits: Optional[int] = None, name: str = "",
+                 positions: Optional[Dict[int, Tuple[float, float]]] = None
+                 ) -> None:
+        g = nx.Graph()
+        edges = [(int(a), int(b)) for a, b in edges]
+        for a, b in edges:
+            if a == b:
+                raise ValueError(f"self-loop on qubit {a}")
+        if num_qubits is None:
+            num_qubits = max((max(a, b) for a, b in edges), default=-1) + 1
+        g.add_nodes_from(range(int(num_qubits)))
+        g.add_edges_from(edges)
+        self.graph = g
+        self.name = name
+        self.positions = dict(positions) if positions else None
+        self._dist_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def edges(self) -> List[Tuple[int, int]]:
+        return [tuple(sorted(e)) for e in self.graph.edges()]
+
+    def neighbors(self, q: int) -> List[int]:
+        return sorted(self.graph.neighbors(q))
+
+    def degree(self, q: int) -> int:
+        return self.graph.degree[q]
+
+    def average_degree(self) -> float:
+        n = self.num_qubits
+        return 2.0 * self.num_edges / n if n else 0.0
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.graph) if self.num_qubits else False
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    # ------------------------------------------------------------------
+    # Distances (unit edge weights, per the paper)
+    # ------------------------------------------------------------------
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path matrix; ``inf`` for disconnected pairs."""
+        if self._dist_cache is None:
+            n = self.num_qubits
+            m = np.full((n, n), np.inf)
+            for src, lengths in nx.all_pairs_shortest_path_length(self.graph):
+                for dst, d in lengths.items():
+                    m[src, dst] = d
+            self._dist_cache = m
+        return self._dist_cache
+
+    def distance(self, a: int, b: int) -> float:
+        return float(self.distance_matrix()[a, b])
+
+    def distances_from(self, root: int) -> Dict[int, float]:
+        """Graph distance from ``root`` to every reachable qubit."""
+        row = self.distance_matrix()[root]
+        return {q: float(row[q]) for q in range(self.num_qubits)
+                if np.isfinite(row[q])}
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        return nx.shortest_path(self.graph, a, b)
+
+    def diameter(self) -> int:
+        if not self.is_connected():
+            raise ValueError("diameter undefined for disconnected graph")
+        return int(nx.diameter(self.graph))
+
+    # ------------------------------------------------------------------
+    # Connected-subgraph sampling (Fig. 6/7 "hypernodes")
+    # ------------------------------------------------------------------
+    def sample_connected_subgraph(self, size: int,
+                                  rng: np.random.Generator,
+                                  seed_qubit: Optional[int] = None
+                                  ) -> Tuple[int, ...]:
+        """Sample one connected vertex set of ``size`` qubits by random
+        BFS growth from a (random) seed qubit."""
+        if not 1 <= size <= self.num_qubits:
+            raise ValueError(f"bad subgraph size {size}")
+        if seed_qubit is None:
+            seed_qubit = int(rng.integers(self.num_qubits))
+        chosen = {seed_qubit}
+        frontier = set(self.graph.neighbors(seed_qubit))
+        while len(chosen) < size:
+            frontier -= chosen
+            if not frontier:
+                raise ValueError(
+                    f"component around {seed_qubit} smaller than {size}")
+            pick = int(rng.choice(sorted(frontier)))
+            chosen.add(pick)
+            frontier |= set(self.graph.neighbors(pick))
+        return tuple(sorted(chosen))
+
+    def sample_connected_subgraphs(self, size: int, count: int,
+                                   rng: np.random.Generator
+                                   ) -> List[Tuple[int, ...]]:
+        """Sample up to ``count`` *distinct* connected subgraphs."""
+        seen = set()
+        out: List[Tuple[int, ...]] = []
+        attempts = 0
+        while len(out) < count and attempts < 50 * count:
+            attempts += 1
+            try:
+                sub = self.sample_connected_subgraph(size, rng)
+            except ValueError:
+                continue
+            if sub not in seen:
+                seen.add(sub)
+                out.append(sub)
+        return out
+
+    # ------------------------------------------------------------------
+    def subgraph(self, qubits: Sequence[int], name: str = "") -> "ArchitectureGraph":
+        """Induced subgraph relabelled to 0..k-1 (sorted order)."""
+        qubits = sorted(int(q) for q in qubits)
+        remap = {q: i for i, q in enumerate(qubits)}
+        edges = [(remap[a], remap[b]) for a, b in self.graph.edges()
+                 if a in remap and b in remap]
+        return ArchitectureGraph(edges, num_qubits=len(qubits),
+                                 name=name or f"{self.name}[{len(qubits)}]")
+
+    def __repr__(self) -> str:
+        return (f"ArchitectureGraph({self.name!r}, qubits={self.num_qubits}, "
+                f"edges={self.num_edges})")

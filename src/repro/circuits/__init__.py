@@ -1,0 +1,45 @@
+"""Clifford circuit intermediate representation.
+
+Public surface:
+
+* :class:`~repro.circuits.gates.Gate` / :class:`~repro.circuits.gates.GateType`
+* :class:`~repro.circuits.circuit.Circuit`
+* DAG analysis helpers (:func:`build_dag`, :func:`qubit_descendant_counts`, ...)
+* :func:`~repro.circuits.visual.draw`
+"""
+
+from .gates import (
+    Gate,
+    GateType,
+    PAULI_GATES,
+    SINGLE_QUBIT_GATES,
+    TWO_QUBIT_GATES,
+    UNITARY_GATES,
+)
+from .circuit import Circuit
+from .dag import (
+    build_dag,
+    critical_path_length,
+    gate_descendants,
+    qubit_descendant_counts,
+    qubit_light_cone,
+    topological_layers,
+)
+from .visual import draw
+
+__all__ = [
+    "Gate",
+    "GateType",
+    "PAULI_GATES",
+    "SINGLE_QUBIT_GATES",
+    "TWO_QUBIT_GATES",
+    "UNITARY_GATES",
+    "Circuit",
+    "build_dag",
+    "critical_path_length",
+    "gate_descendants",
+    "qubit_descendant_counts",
+    "qubit_light_cone",
+    "topological_layers",
+    "draw",
+]

@@ -1,0 +1,110 @@
+"""Directed-acyclic-graph view of a circuit.
+
+The paper's Observation VII explains qubit criticality through the DAG
+of sequential gate dependencies: a fault on a qubit used early in the
+gate sequence reaches more *descendants* and therefore corrupts more of
+the code.  This module builds that DAG and exposes the reachability
+metrics used by the architecture analysis (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from .circuit import Circuit
+from .gates import GateType
+
+
+def build_dag(circuit: Circuit) -> nx.DiGraph:
+    """Build the gate-dependency DAG of ``circuit``.
+
+    Nodes are gate indices (positions in the gate list); an edge
+    ``i -> j`` means gate ``j`` consumes a qubit last written by gate
+    ``i``.  Barriers create dependencies but appear as nodes too so the
+    graph mirrors the gate list exactly.
+    """
+    dag = nx.DiGraph()
+    last_use: Dict[int, int] = {}
+    for idx, gate in enumerate(circuit):
+        dag.add_node(idx, gate=gate)
+        for q in gate.qubits:
+            prev = last_use.get(q)
+            if prev is not None:
+                dag.add_edge(prev, idx)
+            last_use[q] = idx
+    return dag
+
+
+def gate_descendants(circuit: Circuit, gate_index: int) -> Set[int]:
+    """Indices of gates causally after ``gate_index``."""
+    dag = build_dag(circuit)
+    return set(nx.descendants(dag, gate_index))
+
+
+def qubit_descendant_counts(circuit: Circuit) -> Dict[int, int]:
+    """For each qubit, the number of gates reachable from its first use.
+
+    This is the "criticality" proxy from the paper's §V-D discussion: a
+    particle strike on a qubit can only corrupt gates downstream of the
+    first gate touching it, so larger counts mean more exposure.
+    """
+    dag = build_dag(circuit)
+    first_use: Dict[int, int] = {}
+    for idx, gate in enumerate(circuit):
+        for q in gate.qubits:
+            first_use.setdefault(q, idx)
+    counts: Dict[int, int] = {}
+    for q in range(circuit.num_qubits):
+        idx = first_use.get(q)
+        if idx is None:
+            counts[q] = 0
+        else:
+            counts[q] = len(nx.descendants(dag, idx)) + 1
+    return counts
+
+
+def qubit_light_cone(circuit: Circuit, qubit: int) -> Set[int]:
+    """Qubits reachable (via gate dependencies) from ``qubit``'s first use.
+
+    A fault at ``qubit`` can only propagate to qubits in this set.
+    """
+    dag = build_dag(circuit)
+    first = None
+    for idx, gate in enumerate(circuit):
+        if qubit in gate.qubits:
+            first = idx
+            break
+    if first is None:
+        return set()
+    reach = {first} | set(nx.descendants(dag, first))
+    cone: Set[int] = set()
+    for idx in reach:
+        cone.update(circuit[idx].qubits)
+    return cone
+
+
+def topological_layers(circuit: Circuit) -> List[List[int]]:
+    """Partition gate indices into parallel layers (ASAP schedule)."""
+    level: Dict[int, int] = {}
+    qubit_level: Dict[int, int] = {}
+    layers: List[List[int]] = []
+    for idx, gate in enumerate(circuit):
+        t = max((qubit_level.get(q, 0) for q in gate.qubits), default=0)
+        if gate.gate_type is GateType.BARRIER:
+            for q in gate.qubits:
+                qubit_level[q] = t
+            continue
+        level[idx] = t
+        for q in gate.qubits:
+            qubit_level[q] = t + 1
+        while len(layers) <= t:
+            layers.append([])
+        layers[t].append(idx)
+    return layers
+
+
+def critical_path_length(circuit: Circuit) -> int:
+    """Length of the longest dependency chain (equals circuit depth)."""
+    return len(topological_layers(circuit))

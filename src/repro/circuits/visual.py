@@ -1,0 +1,102 @@
+"""ASCII rendering of circuits, in the spirit of the paper's Figs. 1-2.
+
+Only intended for human inspection in examples and debugging; the
+renderer favours readability over compactness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .circuit import Circuit
+from .dag import topological_layers
+from .gates import GateType
+
+_SINGLE_LABELS = {
+    GateType.I: "I",
+    GateType.X: "X",
+    GateType.Y: "Y",
+    GateType.Z: "Z",
+    GateType.H: "H",
+    GateType.S: "S",
+    GateType.SDG: "S+",
+    GateType.RESET: "|0>",
+}
+
+
+def draw(circuit: Circuit, qubit_labels: Optional[Sequence[str]] = None,
+         max_width: int = 120) -> str:
+    """Render ``circuit`` as an ASCII diagram.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to draw.
+    qubit_labels:
+        Optional per-qubit row labels; defaults to ``q0, q1, ...``.
+    max_width:
+        Wrap the diagram into stacked blocks of at most this width.
+    """
+    n = circuit.num_qubits
+    if qubit_labels is None:
+        qubit_labels = [f"q{i}" for i in range(n)]
+    if len(qubit_labels) != n:
+        raise ValueError("need one label per qubit")
+    label_w = max(len(s) for s in qubit_labels) + 1
+
+    layers = topological_layers(circuit)
+    columns: List[List[str]] = []
+    for layer in layers:
+        col = ["-"] * n
+        cell_w = 1
+        for idx in layer:
+            gate = circuit[idx]
+            if gate.gate_type is GateType.CX:
+                c, t = gate.qubits
+                col[c] = "*"
+                col[t] = "+"
+                lo, hi = sorted((c, t))
+                for q in range(lo + 1, hi):
+                    col[q] = "|" if col[q] == "-" else col[q]
+            elif gate.gate_type is GateType.CZ:
+                a, b = gate.qubits
+                col[a] = "*"
+                col[b] = "*"
+                lo, hi = sorted((a, b))
+                for q in range(lo + 1, hi):
+                    col[q] = "|" if col[q] == "-" else col[q]
+            elif gate.gate_type is GateType.SWAP:
+                a, b = gate.qubits
+                col[a] = "x"
+                col[b] = "x"
+                lo, hi = sorted((a, b))
+                for q in range(lo + 1, hi):
+                    col[q] = "|" if col[q] == "-" else col[q]
+            elif gate.gate_type is GateType.MEASURE:
+                col[gate.qubits[0]] = f"M{gate.cbit}"
+            else:
+                col[gate.qubits[0]] = _SINGLE_LABELS.get(gate.gate_type, "?")
+        cell_w = max(len(s) for s in col) + 2
+        columns.append([s.center(cell_w, "-").replace(" ", "-") if s != "|"
+                        else ("|".center(cell_w, " ")) for s in col])
+
+    # Assemble rows, wrapping at max_width.
+    blocks: List[str] = []
+    start = 0
+    while start < len(columns) or (start == 0 and not columns):
+        rows = [qubit_labels[q].rjust(label_w) + ":" for q in range(n)]
+        width = label_w + 1
+        end = start
+        while end < len(columns):
+            cell_w = len(columns[end][0])
+            if width + cell_w > max_width and end > start:
+                break
+            for q in range(n):
+                rows[q] += columns[end][q]
+            width += cell_w
+            end += 1
+        blocks.append("\n".join(rows))
+        if end == start:
+            break
+        start = end
+    return "\n\n".join(blocks)

@@ -1,0 +1,158 @@
+"""Command-line entry point: regenerate any paper figure's data.
+
+Usage::
+
+    python -m repro fig3            # temporal decay series
+    python -m repro fig5 --shots 500
+    python -m repro headline        # all observation checks (long)
+    repro fig6 --workers 8 --csv out.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import ascii_table, percent, to_csv
+
+
+def _write(rows, args, title: str) -> None:
+    print(ascii_table(rows, title=title))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(to_csv(rows))
+        print(f"\n[csv written to {args.csv}]")
+
+
+def cmd_fig3(args) -> None:
+    from .experiments import fig3_temporal
+
+    data = fig3_temporal.run()
+    _write(fig3_temporal.sample_table(), args,
+           "Fig. 3 — sampled injection probabilities (gamma=10, ns=10)")
+    print()
+    _write(fig3_temporal.sampling_ablation(), args and argparse.Namespace(csv=None),
+           "n_s ablation — step-function approximation error")
+
+
+def cmd_fig4(args) -> None:
+    from .experiments import fig4_spatial
+
+    data = fig4_spatial.run()
+    _write(data.radial_profile(), args,
+           "Fig. 4 — spatial damping S(d) radial profile (n=1)")
+
+
+def cmd_fig5(args) -> None:
+    from .experiments import fig5_landscape
+
+    landscapes = fig5_landscape.run(shots=args.shots,
+                                    max_workers=args.workers)
+    rows = []
+    for ls in landscapes.values():
+        rows.extend(ls.to_rows())
+        print(ls.ascii_heatmap())
+        print()
+    _write(fig5_landscape.summarize(landscapes), argparse.Namespace(csv=None),
+           "Fig. 5 — landscape summary")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(to_csv(rows))
+        print(f"[full surface written to {args.csv}]")
+
+
+def cmd_fig6(args) -> None:
+    from .experiments import fig6_distance
+
+    rows = fig6_distance.run(shots=args.shots, max_workers=args.workers)
+    _write([r.to_row() for r in rows], args,
+           "Fig. 6 — logical error criticality by code distance")
+    adv = fig6_distance.bitflip_advantage(rows)
+    if adv:
+        print()
+        print(ascii_table(adv, title="Observation IV — bit-flip advantage"))
+
+
+def cmd_fig7(args) -> None:
+    from .experiments import fig7_spread
+
+    data = fig7_spread.run(shots=args.shots, max_workers=args.workers)
+    rows = []
+    for d in data:
+        rows.extend(d.to_rows())
+    _write(rows, args, "Fig. 7 — fault spread vs erasure count")
+    for d in data:
+        eq = fig7_spread.equivalent_erasures(d)
+        print(f"{d.code_label}: spreading fault ~ "
+              f"{eq if eq is not None else '>max'} simultaneous erasures "
+              f"(radiation line {percent(d.radiation_ler)})")
+
+
+def cmd_fig8(args) -> None:
+    from .experiments import fig8_architecture
+
+    data = fig8_architecture.run(shots=args.shots, max_workers=args.workers)
+    _write([d.to_row() for d in data], args,
+           "Fig. 8 — logical error by architecture")
+    print()
+    per_qubit = []
+    for d in data:
+        for q in d.per_qubit:
+            per_qubit.append({"code": d.code_label, "arch": d.arch_label,
+                              "qubit": q.root, "role": q.role,
+                              "median_ler": q.median_ler})
+    print(ascii_table(per_qubit, title="Per-qubit criticality"))
+
+
+def cmd_headline(args) -> None:
+    from .experiments import (fig5_landscape, fig6_distance, fig7_spread,
+                              fig8_architecture, headline)
+
+    shots = args.shots
+    print("[1/4] Fig. 5 landscape...", flush=True)
+    landscapes = fig5_landscape.run(shots=shots, max_workers=args.workers)
+    print("[2/4] Fig. 6 distances...", flush=True)
+    distance_rows = fig6_distance.run(shots=shots, max_workers=args.workers)
+    print("[3/4] Fig. 7 spread...", flush=True)
+    spread_data = fig7_spread.run(shots=shots, max_workers=args.workers)
+    print("[4/4] Fig. 8 architectures...", flush=True)
+    arch_data = fig8_architecture.run(shots=max(200, shots // 2),
+                                      max_workers=args.workers)
+    checks = headline.check_all(landscapes, distance_rows, spread_data,
+                                arch_data)
+    _write([c.to_row() for c in checks], args,
+           "Paper observations I-VIII — paper vs measured")
+
+
+COMMANDS = {
+    "fig3": cmd_fig3,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "headline": cmd_headline,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from the SC'24 surface-codes-"
+                    "under-radiation paper.")
+    parser.add_argument("figure", choices=sorted(COMMANDS),
+                        help="which figure/table to regenerate")
+    parser.add_argument("--shots", type=int, default=800,
+                        help="shots per configuration point")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: all cores)")
+    parser.add_argument("--csv", type=str, default=None,
+                        help="also write rows to this CSV file")
+    args = parser.parse_args(argv)
+    COMMANDS[args.figure](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""QEC codes: repetition and XXZZ rotated surface code (paper §IV)."""
+
+from .base import (
+    MemoryExperiment,
+    QubitRole,
+    StabilizerCode,
+    build_memory_experiment,
+)
+from .repetition import RepetitionCode
+from .rotated import Plaquette, RotatedLattice
+from .xxzz import XXZZCode
+
+__all__ = [
+    "StabilizerCode",
+    "QubitRole",
+    "MemoryExperiment",
+    "build_memory_experiment",
+    "RepetitionCode",
+    "RotatedLattice",
+    "Plaquette",
+    "XXZZCode",
+]

@@ -1,0 +1,63 @@
+"""Quantum repetition code (paper §IV-A, Fig. 2).
+
+``d`` data qubits hold a GHZ-encoded logical qubit, ``d - 1`` ancillas
+measure the nearest-neighbour parity checks, and one readout ancilla
+collects the final logical parity: ``q_rep = 2d`` qubits in total.
+
+* ``basis="Z"`` (bit-flip protection, the paper's configuration):
+  GHZ in the computational basis, ``ZZ`` checks, distance ``(d, 1)``.
+* ``basis="X"`` (phase-flip protection): GHZ in the Hadamard basis,
+  ``XX`` checks, distance ``(1, d)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import StabilizerCode
+
+
+class RepetitionCode(StabilizerCode):
+    """Distance-``d`` repetition code.
+
+    Parameters
+    ----------
+    d:
+        Code distance (odd, >= 1).
+    basis:
+        ``"Z"`` for bit-flip protection (default, as in the paper's
+        experiments) or ``"X"`` for phase-flip protection.
+    """
+
+    def __init__(self, d: int, basis: str = "Z") -> None:
+        if d < 1 or d % 2 == 0:
+            raise ValueError(f"repetition distance must be odd, got {d}")
+        if basis not in ("Z", "X"):
+            raise ValueError("basis must be 'Z' or 'X'")
+        self.d = int(d)
+        self.basis = basis
+        self.distance: Tuple[int, int] = (d, 1) if basis == "Z" else (1, d)
+        self.name = f"repetition-({self.distance[0]},{self.distance[1]})"
+
+        self.data_qubits = list(range(d))
+        ancillas = list(range(d, 2 * d - 1))
+        checks = [(i, i + 1) for i in range(d - 1)]
+        if basis == "Z":
+            self.z_ancillas = ancillas
+            self.z_plaquettes = checks
+            self.x_ancillas = []
+            self.x_plaquettes = []
+        else:
+            self.x_ancillas = ancillas
+            self.x_plaquettes = checks
+            self.z_ancillas = []
+            self.z_plaquettes = []
+        self.readout_qubit = 2 * d - 1
+        # Transversal flip + whole-register parity readout (Fig. 2):
+        # X^(x)d maps |0..0> -> |1..1>; Z^(x)d reads the parity (d odd).
+        self.logical_x_support = tuple(range(d))
+        self.logical_z_support = tuple(range(d))
+
+    def __repr__(self) -> str:
+        return (f"RepetitionCode(d={self.d}, basis={self.basis!r}, "
+                f"qubits={self.num_qubits})")

@@ -1,0 +1,50 @@
+"""Syndrome decoders: detector graph, MWPM (paper default), union-find."""
+
+from .base import DecodeResult, Decoder
+from .detector_graph import BOUNDARY, DetectorEdge, DetectorGraph
+from .matching import MWPMDecoder
+from .unionfind import UnionFindDecoder
+
+
+def decoder_for(experiment, kind: str = "mwpm", basis: str | None = None,
+                use_final_data: bool = True):
+    """Build a decoder bound to an experiment's detector graph.
+
+    Parameters
+    ----------
+    experiment:
+        A :class:`~repro.codes.base.MemoryExperiment`.
+    kind:
+        ``"mwpm"`` (paper default) or ``"union-find"``.
+    basis:
+        Decode basis; defaults to the experiment's memory basis.
+    use_final_data:
+        ``True`` (default) reconstructs a final syndrome round from the
+        transversal data measurement and reads the logical parity from
+        the data bits (qtcodes-style); ``False`` trusts the dedicated
+        readout ancilla of Figs. 1-2 and leaves post-round errors
+        undetectable (kept as the readout-path ablation).
+    """
+    basis = basis or experiment.basis
+    if use_final_data and (experiment.data_cbits is None
+                           or basis != experiment.basis):
+        use_final_data = False
+    rounds = experiment.rounds + (1 if use_final_data else 0)
+    graph = DetectorGraph(experiment.code, rounds, basis=basis)
+    if kind == "mwpm":
+        return MWPMDecoder(graph, use_final_data=use_final_data)
+    if kind in ("union-find", "unionfind", "uf"):
+        return UnionFindDecoder(graph, use_final_data=use_final_data)
+    raise KeyError(f"unknown decoder {kind!r}")
+
+
+__all__ = [
+    "Decoder",
+    "DecodeResult",
+    "DetectorGraph",
+    "DetectorEdge",
+    "BOUNDARY",
+    "MWPMDecoder",
+    "UnionFindDecoder",
+    "decoder_for",
+]

@@ -1,0 +1,123 @@
+"""Decoder interface and result container."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..codes.base import MemoryExperiment
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of decoding a batch of shots.
+
+    Attributes
+    ----------
+    decoded:
+        Per-shot decoded logical value, shape ``(B,)``.
+    expected:
+        The logical value a noise-free run produces.
+    corrections:
+        Per-shot readout-correction parity the decoder applied.
+    """
+
+    decoded: np.ndarray
+    expected: int
+    corrections: np.ndarray
+
+    @property
+    def num_shots(self) -> int:
+        return int(self.decoded.shape[0])
+
+    @property
+    def errors(self) -> np.ndarray:
+        """Boolean per-shot logical-error flags."""
+        return self.decoded != self.expected
+
+    @property
+    def num_errors(self) -> int:
+        return int(np.count_nonzero(self.errors))
+
+    @property
+    def logical_error_rate(self) -> float:
+        """Fraction of shots decoding to the wrong logical value
+        (the paper's §IV-C metric)."""
+        return self.num_errors / self.num_shots if self.num_shots else 0.0
+
+
+class Decoder(abc.ABC):
+    """Abstract syndrome decoder."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short identifier used in reports."""
+
+    @abc.abstractmethod
+    def decode_batch(self, experiment: MemoryExperiment,
+                     records: np.ndarray) -> DecodeResult:
+        """Decode a ``(B, num_cbits)`` record array."""
+
+
+def prepare_decode_inputs(experiment: MemoryExperiment, records: np.ndarray,
+                          graph, use_final_data: bool):
+    """Shared front-end for syndrome decoders.
+
+    Returns ``(detectors, raw_logical)`` where ``detectors`` has shape
+    ``(B, rounds_eff, P)``.
+
+    Two readout modes:
+
+    * **ancilla** (``use_final_data=False``) — the raw logical value is
+      the dedicated parity-ancilla measurement of Figs. 1-2 and only the
+      mid-circuit syndrome rounds feed the decoder.  A corrupted readout
+      ancilla is undetectable in this mode.
+    * **data** (``use_final_data=True``, qtcodes-style) — the final
+      transversal data measurement provides both the logical parity and
+      one extra reconstructed syndrome round, so late and readout-path
+      errors stay decodable.  Requires the experiment to include data
+      measurements and the decode basis to match the memory basis.
+    """
+    syndromes = experiment.syndromes(records, graph.basis)
+    if graph.basis == experiment.basis:
+        det = graph.detection_events(syndromes)
+    else:
+        det = graph.dual_detection_events(syndromes)
+    if not use_final_data:
+        raw = experiment.raw_readout(records).astype(np.uint8)
+        return det, raw
+    if graph.basis != experiment.basis:
+        raise ValueError("data-readout decoding needs decode basis == "
+                         "memory basis")
+    data_bits = experiment.data_measurements(records)
+    if data_bits is None:
+        raise ValueError("experiment was built without data measurements; "
+                         "use use_final_data=False or rebuild with "
+                         "include_data_measurement=True")
+    code = experiment.code
+    col = {q: i for i, q in enumerate(code.data_qubits)}
+    plaquettes = (code.z_plaquettes if graph.basis == "Z"
+                  else code.x_plaquettes)
+    B = records.shape[0]
+    n_p = len(plaquettes)
+    final_syn = np.zeros((B, n_p), dtype=np.uint8)
+    for j, support in enumerate(plaquettes):
+        for q in support:
+            final_syn[:, j] ^= data_bits[:, col[q]]
+    # Final reconstructed round differenced against the last measured one.
+    if experiment.rounds > 0 and syndromes.shape[2]:
+        last = syndromes[:, -1, :]
+    else:
+        last = np.zeros((B, n_p), dtype=np.uint8)
+    final_det = (final_syn ^ last)[:, None, :]
+    det = np.concatenate([det, final_det], axis=1)
+    support = (code.logical_z_support if graph.basis == "Z"
+               else code.logical_x_support)
+    raw = np.zeros(B, dtype=np.uint8)
+    for q in support:
+        raw ^= data_bits[:, col[q]]
+    return det, raw

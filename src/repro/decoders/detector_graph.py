@@ -1,0 +1,192 @@
+"""Space-time detector graph for syndrome decoding.
+
+Nodes are *detectors* — parity comparisons between consecutive syndrome
+rounds (plus the round-0 comparison against the known initial state).
+Edges are elementary error mechanisms:
+
+* **space edges** — a data-qubit error flips the one or two plaquettes
+  containing that qubit in the decode basis; qubits touching a single
+  plaquette connect it to the virtual **boundary**;
+* **time edges** — a syndrome-measurement error flips the same detector
+  in two consecutive rounds.
+
+Every edge carries a ``logical_flip`` flag: whether the corresponding
+data error anticommutes with the logical readout operator.  The decoder
+sums these flags along its correction to fix the raw readout parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..codes.base import MemoryExperiment, StabilizerCode
+
+#: Virtual boundary node id (all real nodes are >= 0).
+BOUNDARY = -1
+
+
+@dataclass(frozen=True)
+class DetectorEdge:
+    """One error mechanism connecting two detectors (or a boundary)."""
+
+    u: int
+    v: int
+    qubit: Optional[int]      # data qubit for space edges, None for time
+    logical_flip: bool
+    weight: float = 1.0
+
+
+class DetectorGraph:
+    """Decoding graph for a memory experiment in a given basis.
+
+    Parameters
+    ----------
+    code:
+        The code geometry.
+    rounds:
+        Number of syndrome rounds in the experiment.
+    basis:
+        ``"Z"`` to decode Z-plaquette syndromes (bit-flip errors) — the
+        relevant graph for the paper's Z-basis memory — or ``"X"``.
+    """
+
+    def __init__(self, code: StabilizerCode, rounds: int, basis: str = "Z"
+                 ) -> None:
+        if basis not in ("Z", "X"):
+            raise ValueError("basis must be 'Z' or 'X'")
+        self.code = code
+        self.rounds = int(rounds)
+        self.basis = basis
+        plaquettes = (code.z_plaquettes if basis == "Z"
+                      else code.x_plaquettes)
+        readout_support = frozenset(
+            code.logical_z_support if basis == "Z"
+            else code.logical_x_support)
+        self.num_plaquettes = len(plaquettes)
+        self.num_nodes = self.num_plaquettes * self.rounds
+
+        # Data qubit -> plaquette indices containing it.
+        membership: Dict[int, List[int]] = {q: [] for q in code.data_qubits}
+        for pi, support in enumerate(plaquettes):
+            for q in support:
+                membership[q].append(pi)
+
+        self.edges: List[DetectorEdge] = []
+        #: Data qubits whose errors flip no plaquette in this basis
+        #: (undetectable; they bound the code's correctable set).
+        self.undetectable: List[int] = []
+        for r in range(self.rounds):
+            for q, plist in membership.items():
+                flip = q in readout_support
+                if len(plist) == 2:
+                    self.edges.append(DetectorEdge(
+                        self.node_id(r, plist[0]), self.node_id(r, plist[1]),
+                        qubit=q, logical_flip=flip))
+                elif len(plist) == 1:
+                    self.edges.append(DetectorEdge(
+                        self.node_id(r, plist[0]), BOUNDARY,
+                        qubit=q, logical_flip=flip))
+                elif r == 0:
+                    self.undetectable.append(q)
+        for r in range(self.rounds - 1):
+            for p in range(self.num_plaquettes):
+                self.edges.append(DetectorEdge(
+                    self.node_id(r, p), self.node_id(r + 1, p),
+                    qubit=None, logical_flip=False))
+
+        self._dist: Optional[np.ndarray] = None
+        self._parity: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def node_id(self, round_index: int, plaquette_index: int) -> int:
+        return round_index * self.num_plaquettes + plaquette_index
+
+    def node_round_plaquette(self, node: int) -> Tuple[int, int]:
+        return divmod(node, self.num_plaquettes)[0], node % self.num_plaquettes
+
+    # ------------------------------------------------------------------
+    # Detection events
+    # ------------------------------------------------------------------
+    def detection_events(self, syndromes: np.ndarray) -> np.ndarray:
+        """Detector values from raw syndromes, shape ``(B, rounds, P)``.
+
+        Round 0 compares against the known initial eigenstate when the
+        decode basis matches the preparation basis (the paper's setup);
+        later rounds compare consecutive measurements.  When the decode
+        basis is the *dual* of the preparation (round-0 outcomes are
+        random projections) the round-0 detector is suppressed.
+        """
+        det = syndromes.copy()
+        det[:, 1:, :] ^= syndromes[:, :-1, :]
+        return det
+
+    def dual_detection_events(self, syndromes: np.ndarray) -> np.ndarray:
+        """Detectors for the dual-basis graph: no round-0 reference."""
+        det = self.detection_events(syndromes)
+        det[:, 0, :] = 0
+        return det
+
+    # ------------------------------------------------------------------
+    # All-pairs shortest paths with logical parity
+    # ------------------------------------------------------------------
+    def _build_paths(self) -> None:
+        """BFS from every node, tracking logical parity along the tree.
+
+        Distances/parities to the boundary use a virtual node appended
+        at index ``num_nodes``.
+        """
+        n = self.num_nodes
+        adj: List[List[Tuple[int, bool]]] = [[] for _ in range(n + 1)]
+        bidx = n
+        for e in self.edges:
+            u = e.u if e.u != BOUNDARY else bidx
+            v = e.v if e.v != BOUNDARY else bidx
+            adj[u].append((v, e.logical_flip))
+            adj[v].append((u, e.logical_flip))
+        dist = np.full((n, n + 1), np.inf)
+        parity = np.zeros((n, n + 1), dtype=np.uint8)
+        for src in range(n):
+            dist[src, src] = 0
+            queue = [src]
+            head = 0
+            while head < len(queue):
+                u = queue[head]
+                head += 1
+                for v, flip in adj[u]:
+                    if not np.isfinite(dist[src, v]):
+                        dist[src, v] = dist[src, u] + 1
+                        parity[src, v] = parity[src, u] ^ int(flip)
+                        if v != bidx:  # boundary absorbs: do not expand
+                            queue.append(v)
+        self._dist = dist
+        self._parity = parity
+
+    @property
+    def distances(self) -> np.ndarray:
+        """``(num_nodes, num_nodes + 1)``; last column is the boundary."""
+        if self._dist is None:
+            self._build_paths()
+        return self._dist
+
+    @property
+    def parities(self) -> np.ndarray:
+        """Logical parity along a BFS shortest path (same shape)."""
+        if self._parity is None:
+            self._build_paths()
+        return self._parity
+
+    def distance_between(self, u: int, v: int = BOUNDARY) -> float:
+        col = self.num_nodes if v == BOUNDARY else v
+        return float(self.distances[u, col])
+
+    def parity_between(self, u: int, v: int = BOUNDARY) -> int:
+        col = self.num_nodes if v == BOUNDARY else v
+        return int(self.parities[u, col])
+
+    def __repr__(self) -> str:
+        return (f"DetectorGraph({self.code.name}, basis={self.basis}, "
+                f"nodes={self.num_nodes}, edges={len(self.edges)}, "
+                f"undetectable={len(self.undetectable)})")

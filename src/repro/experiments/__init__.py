@@ -1,0 +1,34 @@
+"""Per-figure experiment generators (paper §V).
+
+Each module regenerates one figure's data series:
+
+* :mod:`.fig3_temporal` — temporal decay T(t) and its step sampling.
+* :mod:`.fig4_spatial` — spatial damping field S(d).
+* :mod:`.fig5_landscape` — intrinsic-noise x radiation LER surface.
+* :mod:`.fig6_distance` — single-erasure criticality by code distance.
+* :mod:`.fig7_spread` — spreading fault vs multi-qubit erasure.
+* :mod:`.fig8_architecture` — per-qubit criticality across topologies.
+* :mod:`.headline` — Observation I-VIII paper-vs-measured checks.
+"""
+
+from . import (
+    fig3_temporal,
+    fig4_spatial,
+    fig5_landscape,
+    fig6_distance,
+    fig7_spread,
+    fig8_architecture,
+    headline,
+    rounds_ablation,
+)
+
+__all__ = [
+    "fig3_temporal",
+    "fig4_spatial",
+    "fig5_landscape",
+    "fig6_distance",
+    "fig7_spread",
+    "fig8_architecture",
+    "headline",
+    "rounds_ablation",
+]

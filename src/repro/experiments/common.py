@@ -1,0 +1,76 @@
+"""Shared experiment plumbing.
+
+Every figure module follows the same pattern:
+
+* ``build_campaign(shots, ...)`` — the exact task list,
+* ``run(shots, max_workers)`` — execute and post-process,
+* ``format_table(data)`` — the rows/series the paper's figure reports.
+
+Shot counts default to laptop-scale statistics (Wilson CIs of a few
+percent); benchmarks pass smaller values, EXPERIMENTS.md records runs
+at the defaults.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..injection.campaign import _prepared
+from ..injection.spec import ArchSpec, CodeSpec, InjectionTask
+
+#: Paper default intrinsic noise (§IV-C).
+DEFAULT_P = 0.01
+#: Paper default syndrome rounds (Figs. 1-2).
+DEFAULT_ROUNDS = 2
+#: Temporal samples of the radiation step function (§III-B).
+NUM_TIME_SAMPLES = 10
+
+
+def fitting_mesh(num_qubits: int, max_cols: int = 6) -> ArchSpec:
+    """The paper's 5x6 lattice "scaled down according to the qubit
+    requirements": the minimal-area ``rows x cols`` mesh with
+    ``cols <= 6`` that fits the code, preferring the squarest shape
+    (6 -> 2x3, 10 -> 2x5, 18 -> 3x6, 30 -> 5x6)."""
+    best = None
+    for cols in range(1, max_cols + 1):
+        rows = max(1, math.ceil(num_qubits / cols))
+        if rows > 5 and num_qubits <= 5 * max_cols:
+            continue  # stay inside the 5x6 footprint when possible
+        area = rows * cols
+        squareness = abs(rows - cols)
+        key = (area, squareness, rows)
+        if best is None or key < best[0]:
+            best = (key, (rows, cols))
+    return ArchSpec("mesh", best[1])
+
+
+def used_physical_qubits(code: CodeSpec, arch: ArchSpec,
+                         rounds: int = DEFAULT_ROUNDS, basis: str = "Z",
+                         layout: str = "best",
+                         decoder: str = "mwpm") -> Tuple[int, ...]:
+    """Physical qubits touched by the transpiled memory circuit.
+
+    Fig. 8 injects faults only at qubits the circuit actually uses
+    ("unused qubits ... have been omitted").
+    """
+    experiment, _, _ = _prepared(code, rounds, basis, arch, layout, decoder)
+    return experiment.circuit.qubits_used()
+
+
+def initial_layout_roles(code: CodeSpec, arch: ArchSpec,
+                         rounds: int = DEFAULT_ROUNDS, basis: str = "Z",
+                         layout: str = "best") -> dict:
+    """``{physical qubit: role label}`` from the initial placement."""
+    from ..transpile import transpile
+
+    built = code.build()
+    from ..codes import build_memory_experiment
+
+    exp = build_memory_experiment(built, rounds=rounds, basis=basis)
+    routed = transpile(exp.circuit, arch.build(), layout=layout)
+    roles = {}
+    for logical, physical in routed.initial_layout.items():
+        if logical < built.num_qubits:
+            roles[physical] = built.role(logical).value
+    return roles

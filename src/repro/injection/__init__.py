@@ -1,0 +1,17 @@
+"""Quantum fault-injection toolkit (the paper's §III contribution)."""
+
+from .campaign import Campaign, run_task
+from .results import InjectionResult, ResultSet, wilson_interval
+from .spec import ArchSpec, CodeSpec, FaultSpec, InjectionTask
+
+__all__ = [
+    "Campaign",
+    "run_task",
+    "InjectionResult",
+    "ResultSet",
+    "wilson_interval",
+    "ArchSpec",
+    "CodeSpec",
+    "FaultSpec",
+    "InjectionTask",
+]

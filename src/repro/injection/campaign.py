@@ -1,0 +1,146 @@
+"""Fault-injection campaign runner.
+
+Executes :class:`~repro.injection.spec.InjectionTask` points: build the
+memory experiment, transpile it onto the task's architecture, attach the
+intrinsic noise model and the specified fault, run the batched noisy
+simulation, decode, count logical errors.  Points are independent, so
+campaigns distribute over a process pool (serial fallback) with one
+deterministic random stream per task.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from functools import lru_cache
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..codes.base import MemoryExperiment
+from ..decoders import decoder_for
+from ..noise import (
+    DepolarizingNoise,
+    ErasureChannel,
+    NoiseModel,
+    RadiationEvent,
+    run_batch_noisy,
+)
+from ..transpile import transpile
+from ..util.parallel import parallel_map
+from ..util.rng import task_seed
+from .results import InjectionResult, ResultSet
+from .spec import ArchSpec, CodeSpec, InjectionTask, build_arch, build_experiment
+
+
+@lru_cache(maxsize=256)
+def _prepared(code: CodeSpec, rounds: int, basis: str,
+              arch: Optional[ArchSpec], layout: str, decoder_kind: str,
+              readout: str = "ancilla"):
+    """Worker-side cache: (experiment-on-physical-qubits, decoder, swaps).
+
+    Transpilation and detector-graph construction dominate small tasks;
+    caching them per worker process amortises the cost across the many
+    tasks sharing a configuration.
+    """
+    experiment = build_experiment(code, rounds, basis)
+    swap_count = 0
+    if arch is not None:
+        graph = build_arch(arch)
+        routed = transpile(experiment.circuit, graph, layout=layout)
+        experiment = dataclasses.replace(experiment, circuit=routed.circuit)
+        swap_count = routed.swap_count
+    decoder = decoder_for(experiment, decoder_kind,
+                          use_final_data=(readout == "data"))
+    return experiment, decoder, swap_count
+
+
+def _build_noise(task: InjectionTask, experiment: MemoryExperiment
+                 ) -> NoiseModel:
+    channels = []
+    fault = task.fault
+    if fault.kind == "radiation":
+        if task.arch is not None:
+            graph = build_arch(task.arch)
+            distances = graph.distances_from(fault.root_qubit)
+            nq = graph.num_qubits
+        else:
+            # No architecture: faults spread over the circuit's own qubit
+            # line (unit distance per index step) — mainly for tests.
+            nq = experiment.circuit.num_qubits
+            distances = {q: abs(q - fault.root_qubit) for q in range(nq)}
+        event = RadiationEvent(
+            root_qubit=fault.root_qubit, distances=distances, num_qubits=nq,
+            gamma=fault.gamma, n=fault.spatial_n,
+            num_samples=fault.num_samples, spread=fault.spread)
+        channels.append(event.channel(fault.time_index))
+    elif fault.kind == "erasure":
+        channels.append(ErasureChannel(fault.qubits, fault.probability))
+    if task.intrinsic_p > 0:
+        channels.append(DepolarizingNoise(task.intrinsic_p))
+    return NoiseModel(channels)
+
+
+def run_task(task: InjectionTask) -> InjectionResult:
+    """Execute one campaign point (picklable module-level worker)."""
+    t0 = time.perf_counter()
+    experiment, decoder, swap_count = _prepared(
+        task.code, task.rounds, task.basis, task.arch, task.layout,
+        task.decoder, task.readout)
+    noise = _build_noise(task, experiment)
+    records = run_batch_noisy(experiment.circuit, noise, task.shots,
+                              rng=task.seed)
+    result = decoder.decode_batch(experiment, records)
+    raw = experiment.raw_readout(records)
+    raw_errors = int(np.count_nonzero(raw != experiment.expected_logical))
+    return InjectionResult(
+        task=task,
+        shots=task.shots,
+        errors=result.num_errors,
+        raw_errors=raw_errors,
+        corrections_applied=int(np.count_nonzero(result.corrections)),
+        swap_count=swap_count,
+        elapsed_s=time.perf_counter() - t0,
+    )
+
+
+class Campaign:
+    """A set of injection tasks executed together.
+
+    Parameters
+    ----------
+    tasks:
+        Initial task list (more can be added).
+    root_seed:
+        Seeds every task missing an explicit non-zero seed, derived
+        per-index via ``SeedSequence`` so the campaign is reproducible
+        under any parallel schedule.
+    """
+
+    def __init__(self, tasks: Optional[Iterable[InjectionTask]] = None,
+                 root_seed: int = 2024) -> None:
+        self.tasks: List[InjectionTask] = list(tasks or [])
+        self.root_seed = int(root_seed)
+
+    def add(self, task: InjectionTask) -> None:
+        self.tasks.append(task)
+
+    def extend(self, tasks: Iterable[InjectionTask]) -> None:
+        self.tasks.extend(tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def _seeded(self) -> List[InjectionTask]:
+        out = []
+        for i, t in enumerate(self.tasks):
+            if t.seed == 0:
+                t = dataclasses.replace(t, seed=task_seed(self.root_seed, i))
+            out.append(t)
+        return out
+
+    def run(self, max_workers: Optional[int] = None) -> ResultSet:
+        """Run all tasks; ``max_workers=1`` forces serial execution."""
+        seeded = self._seeded()
+        results = parallel_map(run_task, seeded, max_workers=max_workers)
+        return ResultSet(results)

@@ -1,0 +1,143 @@
+"""Campaign result containers and aggregation."""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .spec import InjectionTask
+
+
+def wilson_interval(errors: int, shots: int, z: float = 1.96
+                    ) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because campaign points
+    frequently sit at very low (or very high) error counts.
+    """
+    if shots <= 0:
+        return (0.0, 1.0)
+    p = errors / shots
+    denom = 1.0 + z * z / shots
+    centre = (p + z * z / (2 * shots)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / shots
+                                   + z * z / (4 * shots * shots))
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+@dataclass
+class InjectionResult:
+    """Outcome of one campaign point."""
+
+    task: InjectionTask
+    shots: int
+    errors: int
+    raw_errors: int            # readout wrong before decoding
+    corrections_applied: int   # shots where the decoder flipped readout
+    swap_count: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.errors / self.shots if self.shots else 0.0
+
+    @property
+    def raw_error_rate(self) -> float:
+        return self.raw_errors / self.shots if self.shots else 0.0
+
+    @property
+    def confidence_interval(self) -> Tuple[float, float]:
+        return wilson_interval(self.errors, self.shots)
+
+    def to_row(self) -> Dict[str, object]:
+        lo, hi = self.confidence_interval
+        row: Dict[str, object] = {
+            "code": self.task.code.label,
+            "arch": self.task.arch.label if self.task.arch else "-",
+            "fault": self.task.fault.kind,
+            "p": self.task.intrinsic_p,
+            "decoder": self.task.decoder,
+            "shots": self.shots,
+            "errors": self.errors,
+            "ler": self.logical_error_rate,
+            "ler_lo": lo,
+            "ler_hi": hi,
+            "raw_ler": self.raw_error_rate,
+            "swaps": self.swap_count,
+            "seed": self.task.seed,
+        }
+        row.update(dict(self.task.tags))
+        return row
+
+
+class ResultSet:
+    """Ordered collection of :class:`InjectionResult` with helpers."""
+
+    def __init__(self, results: Optional[Iterable[InjectionResult]] = None
+                 ) -> None:
+        self.results: List[InjectionResult] = list(results or [])
+
+    def append(self, result: InjectionResult) -> None:
+        self.results.append(result)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, idx):
+        return self.results[idx]
+
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[InjectionResult], bool]
+               ) -> "ResultSet":
+        return ResultSet(r for r in self.results if predicate(r))
+
+    def filter_tags(self, **tags: object) -> "ResultSet":
+        want = {k: str(v) for k, v in tags.items()}
+
+        def match(r: InjectionResult) -> bool:
+            have = dict(r.task.tags)
+            return all(have.get(k) == v for k, v in want.items())
+
+        return self.filter(match)
+
+    def rates(self) -> np.ndarray:
+        return np.array([r.logical_error_rate for r in self.results])
+
+    def median_rate(self) -> float:
+        rates = self.rates()
+        return float(np.median(rates)) if rates.size else float("nan")
+
+    def mean_rate(self) -> float:
+        rates = self.rates()
+        return float(np.mean(rates)) if rates.size else float("nan")
+
+    def pooled_rate(self) -> float:
+        """Error rate pooling shots across all points."""
+        shots = sum(r.shots for r in self.results)
+        errors = sum(r.errors for r in self.results)
+        return errors / shots if shots else float("nan")
+
+    def group_by(self, key: Callable[[InjectionResult], object]
+                 ) -> Dict[object, "ResultSet"]:
+        groups: Dict[object, ResultSet] = {}
+        for r in self.results:
+            groups.setdefault(key(r), ResultSet()).append(r)
+        return groups
+
+    # ------------------------------------------------------------------
+    def to_rows(self) -> List[Dict[str, object]]:
+        return [r.to_row() for r in self.results]
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_rows(), indent=2, default=str)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())

@@ -1,0 +1,154 @@
+"""Declarative injection-task specifications.
+
+Campaign tasks are small frozen dataclasses that fully describe one
+configuration point (code, architecture, fault, noise, shots, seed).
+Workers rebuild the heavyweight objects (circuits, detector graphs)
+from the spec — specs pickle cheaply across process boundaries and
+cache naturally, and every result is reproducible from its spec alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from ..arch import ArchitectureGraph, by_name
+from ..codes import (
+    MemoryExperiment,
+    RepetitionCode,
+    StabilizerCode,
+    XXZZCode,
+    build_memory_experiment,
+)
+
+
+@dataclass(frozen=True)
+class CodeSpec:
+    """Which surface code to build.
+
+    ``kind`` is ``"repetition"`` or ``"xxzz"``; ``distance`` is the
+    paper's ``(d_Z, d_X)`` tuple (repetition codes take ``(d, 1)`` for
+    bit-flip or ``(1, d)`` for phase-flip protection).
+    """
+
+    kind: str
+    distance: Tuple[int, int]
+
+    def build(self) -> StabilizerCode:
+        dz, dx = self.distance
+        if self.kind == "repetition":
+            if dz > 1 and dx > 1:
+                raise ValueError("repetition code needs dZ==1 or dX==1")
+            if dx == 1:
+                return RepetitionCode(dz, basis="Z")
+            return RepetitionCode(dx, basis="X")
+        if self.kind == "xxzz":
+            return XXZZCode(dz, dx)
+        raise ValueError(f"unknown code kind {self.kind!r}")
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}-({self.distance[0]},{self.distance[1]})"
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Which architecture graph to build (by registry name + args)."""
+
+    name: str
+    args: Tuple[int, ...] = ()
+
+    def build(self) -> ArchitectureGraph:
+        return by_name(self.name, *self.args)
+
+    @property
+    def label(self) -> str:
+        if self.args:
+            return f"{self.name}-{'x'.join(map(str, self.args))}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The fault to inject.
+
+    kind:
+        ``"none"`` — intrinsic noise only;
+        ``"radiation"`` — spreading transient fault (Eq. 7) rooted at
+        ``root_qubit``, evaluated at temporal sample ``time_index``;
+        ``"erasure"`` — fixed-probability resets on ``qubits`` with no
+        spatial evolution (Figs. 6-7).
+    """
+
+    kind: str = "none"
+    root_qubit: int = 0
+    time_index: int = 0
+    spread: bool = True
+    qubits: Tuple[int, ...] = ()
+    probability: float = 1.0
+    gamma: float = 10.0
+    spatial_n: float = 1.0
+    num_samples: int = 10
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("none", "radiation", "erasure"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == "radiation" and not 0 <= self.time_index < self.num_samples:
+            raise ValueError("time_index outside the sampled window")
+        if self.kind == "erasure" and not self.qubits:
+            raise ValueError("erasure fault needs target qubits")
+
+
+@dataclass(frozen=True)
+class InjectionTask:
+    """One fully-specified campaign point."""
+
+    code: CodeSpec
+    fault: FaultSpec = FaultSpec()
+    arch: Optional[ArchSpec] = None
+    layout: str = "best"
+    intrinsic_p: float = 0.01
+    rounds: int = 2
+    basis: str = "Z"
+    decoder: str = "mwpm"
+    #: "ancilla" trusts the dedicated parity-readout qubit of Figs. 1-2
+    #: (the paper's circuit; late errors stay undetectable); "data"
+    #: decodes from the final transversal data measurement instead.
+    readout: str = "ancilla"
+    shots: int = 2000
+    seed: int = 0
+    #: Free-form labels propagated into result rows (e.g. sweep axes).
+    tags: Tuple[Tuple[str, str], ...] = ()
+
+    def with_tags(self, **tags: object) -> "InjectionTask":
+        merged = dict(self.tags)
+        merged.update({k: str(v) for k, v in tags.items()})
+        return replace(self, tags=tuple(sorted(merged.items())))
+
+    @property
+    def label(self) -> str:
+        parts = [self.code.label]
+        if self.arch is not None:
+            parts.append(f"@{self.arch.label}")
+        if self.fault.kind == "radiation":
+            parts.append(f"rad(q{self.fault.root_qubit},t{self.fault.time_index})")
+        elif self.fault.kind == "erasure":
+            parts.append(f"erase({len(self.fault.qubits)}q)")
+        parts.append(f"p={self.intrinsic_p:g}")
+        return " ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Worker-side cached builders (per-process; specs are hashable).
+# ----------------------------------------------------------------------
+
+@lru_cache(maxsize=256)
+def build_experiment(code: CodeSpec, rounds: int, basis: str
+                     ) -> MemoryExperiment:
+    return build_memory_experiment(code.build(), rounds=rounds, basis=basis)
+
+
+@lru_cache(maxsize=256)
+def build_arch(arch: ArchSpec) -> ArchitectureGraph:
+    return arch.build()

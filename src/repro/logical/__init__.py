@@ -1,0 +1,24 @@
+"""Post-QEC logical-layer fault injection (paper §VI future work).
+
+Bridges the physical-layer campaigns to algorithm-level impact: the
+logical error rates measured under radiation become per-logical-qubit
+fault probabilities in circuits built from encoded qubits.
+"""
+
+from .channel import LogicalFaultChannel
+from .propagate import (
+    LogicalImpact,
+    criticality_ranking,
+    logical_fault_injection,
+    output_distribution,
+    total_variation,
+)
+
+__all__ = [
+    "LogicalFaultChannel",
+    "LogicalImpact",
+    "logical_fault_injection",
+    "criticality_ranking",
+    "output_distribution",
+    "total_variation",
+]

@@ -1,0 +1,88 @@
+"""Logical-layer fault channels.
+
+The paper's future-work direction (§VI): take the *post-QEC logical
+error rates* measured by the physical-layer campaigns and propagate them
+into circuits built from logical (encoded) qubits.  At this layer each
+logical qubit is one IR qubit, and a decoding failure manifests as a
+logical bit-flip with the campaign-measured probability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..circuits import Gate, GateType
+from ..noise.base import NoiseChannel
+from ..stabilizer.batch import BatchTableauSimulator
+from ..stabilizer.simulator import TableauSimulator
+
+
+class LogicalFaultChannel(NoiseChannel):
+    """Per-logical-qubit bit-flip channel parameterised by post-QEC LER.
+
+    Parameters
+    ----------
+    rates:
+        ``{logical qubit: error probability per logical operation}`` or
+        a vector.  Probabilities typically come from
+        :class:`~repro.injection.results.InjectionResult`
+        ``logical_error_rate`` values — e.g. the qubit hosting a
+        radiation strike inherits the struck code's LER while the others
+        keep the intrinsic-noise baseline.
+    phase_rates:
+        Optional per-qubit logical phase-flip (Z) probabilities; the
+        Z-basis memory campaigns of the paper measure bit-flips, so this
+        defaults to zero.
+    """
+
+    def __init__(self, rates: Union[Mapping[int, float], Sequence[float]],
+                 phase_rates: Optional[Union[Mapping[int, float],
+                                             Sequence[float]]] = None
+                 ) -> None:
+        self.rates = self._to_dict(rates)
+        self.phase_rates = self._to_dict(phase_rates or {})
+        for p in list(self.rates.values()) + list(self.phase_rates.values()):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"rate {p} is not a probability")
+
+    @staticmethod
+    def _to_dict(rates) -> Dict[int, float]:
+        if isinstance(rates, Mapping):
+            return {int(q): float(p) for q, p in rates.items()}
+        return {q: float(p) for q, p in enumerate(rates)}
+
+    def triggers_on(self, gate: Gate) -> bool:
+        if gate.gate_type is GateType.BARRIER:
+            return False
+        return any(self.rates.get(q, 0.0) > 0.0
+                   or self.phase_rates.get(q, 0.0) > 0.0
+                   for q in gate.qubits)
+
+    def apply_batch(self, gate: Gate, sim: BatchTableauSimulator,
+                    rng: np.random.Generator) -> None:
+        B = sim.batch_size
+        for q in gate.qubits:
+            px = self.rates.get(q, 0.0)
+            if px > 0.0:
+                mask = rng.random(B) < px
+                if mask.any():
+                    sim.x_gate(q, mask)
+            pz = self.phase_rates.get(q, 0.0)
+            if pz > 0.0:
+                mask = rng.random(B) < pz
+                if mask.any():
+                    sim.z_gate(q, mask)
+
+    def apply_single(self, gate: Gate, sim: TableauSimulator,
+                     rng: np.random.Generator) -> None:
+        for q in gate.qubits:
+            if rng.random() < self.rates.get(q, 0.0):
+                sim.tableau.x_gate(q)
+            if rng.random() < self.phase_rates.get(q, 0.0):
+                sim.tableau.z_gate(q)
+
+    def __repr__(self) -> str:
+        hot = {q: round(p, 4) for q, p in self.rates.items() if p > 0}
+        return f"LogicalFaultChannel({hot})"

@@ -1,0 +1,74 @@
+"""Noise-channel abstractions.
+
+A :class:`NoiseChannel` injects stochastic error operations *after*
+ideal circuit gates.  Channels are stateless w.r.t. the quantum state:
+they observe the gate being executed and act on the simulator through
+its public gate API (masked operations for the batch simulator), so one
+channel implementation serves both execution backends.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits import Gate, GateType
+from ..stabilizer.batch import BatchTableauSimulator
+from ..stabilizer.simulator import TableauSimulator
+
+
+class NoiseChannel(abc.ABC):
+    """Base class for stochastic error channels."""
+
+    @abc.abstractmethod
+    def apply_batch(self, gate: Gate, sim: BatchTableauSimulator,
+                    rng: np.random.Generator) -> None:
+        """Inject errors after ``gate`` across the whole batch."""
+
+    @abc.abstractmethod
+    def apply_single(self, gate: Gate, sim: TableauSimulator,
+                     rng: np.random.Generator) -> None:
+        """Inject errors after ``gate`` on a single-shot simulator."""
+
+    def triggers_on(self, gate: Gate) -> bool:
+        """Whether this channel fires after the given gate (default: all
+        non-barrier operations)."""
+        return gate.gate_type is not GateType.BARRIER
+
+
+class NoiseModel:
+    """An ordered collection of channels applied after every gate."""
+
+    def __init__(self, channels: Optional[Iterable[NoiseChannel]] = None) -> None:
+        self.channels: List[NoiseChannel] = list(channels or [])
+
+    def add(self, channel: NoiseChannel) -> "NoiseModel":
+        self.channels.append(channel)
+        return self
+
+    def __iter__(self):
+        return iter(self.channels)
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def apply_batch(self, gate: Gate, sim: BatchTableauSimulator,
+                    rng: np.random.Generator) -> None:
+        for ch in self.channels:
+            if ch.triggers_on(gate):
+                ch.apply_batch(gate, sim, rng)
+
+    def apply_single(self, gate: Gate, sim: TableauSimulator,
+                     rng: np.random.Generator) -> None:
+        for ch in self.channels:
+            if ch.triggers_on(gate):
+                ch.apply_single(gate, sim, rng)
+
+    @classmethod
+    def compose(cls, *models: "NoiseModel") -> "NoiseModel":
+        out = cls()
+        for m in models:
+            out.channels.extend(m.channels)
+        return out

@@ -1,0 +1,101 @@
+"""Depolarizing intrinsic-noise model (paper Eq. 4).
+
+After every gate operation ``O`` each participating qubit independently
+suffers an X, Y or Z error, each with probability ``p/3``:
+
+    O|psi>  ->  E O|psi>,   E = sqrt(1-p) I + sqrt(p/3) (X + Y + Z)
+
+Two-qubit gates receive the tensor product ``E (x) E`` of two
+independent single-qubit channels, as in the paper.  This uncorrelated
+Pauli model is the baseline surface codes are designed against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuits import Gate, GateType, UNITARY_GATES
+from ..stabilizer.batch import BatchTableauSimulator
+from ..stabilizer.simulator import TableauSimulator
+from .base import NoiseChannel
+
+
+class DepolarizingNoise(NoiseChannel):
+    """Uniform depolarizing channel with physical error rate ``p``.
+
+    Parameters
+    ----------
+    p:
+        Total error probability per qubit per gate (split p/3 per Pauli).
+    include_measurements, include_resets:
+        Whether the channel also fires after measure / reset operations.
+        The paper's model attaches errors to gate operations only, so
+        both default to False.
+    qubits:
+        Optional restriction to a subset of qubits (e.g. to emulate a
+        device with one noisy region); ``None`` means all.
+    """
+
+    def __init__(self, p: float, include_measurements: bool = False,
+                 include_resets: bool = False,
+                 qubits: Optional[Sequence[int]] = None) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be a probability, got {p}")
+        self.p = float(p)
+        self.include_measurements = include_measurements
+        self.include_resets = include_resets
+        self.qubits = None if qubits is None else frozenset(qubits)
+
+    def triggers_on(self, gate: Gate) -> bool:
+        gt = gate.gate_type
+        if gt in UNITARY_GATES and gt is not GateType.I:
+            pass
+        elif gt is GateType.MEASURE and self.include_measurements:
+            pass
+        elif gt is GateType.RESET and self.include_resets:
+            pass
+        else:
+            return False
+        if self.qubits is not None and not any(q in self.qubits
+                                               for q in gate.qubits):
+            return False
+        return self.p > 0.0
+
+    # ------------------------------------------------------------------
+    def _active_qubits(self, gate: Gate):
+        if self.qubits is None:
+            return gate.qubits
+        return tuple(q for q in gate.qubits if q in self.qubits)
+
+    def apply_batch(self, gate: Gate, sim: BatchTableauSimulator,
+                    rng: np.random.Generator) -> None:
+        B = sim.batch_size
+        third = self.p / 3.0
+        for q in self._active_qubits(gate):
+            u = rng.random(B)
+            mx = u < third
+            my = (u >= third) & (u < 2 * third)
+            mz = (u >= 2 * third) & (u < self.p)
+            if mx.any():
+                sim.x_gate(q, mx)
+            if my.any():
+                sim.y_gate(q, my)
+            if mz.any():
+                sim.z_gate(q, mz)
+
+    def apply_single(self, gate: Gate, sim: TableauSimulator,
+                     rng: np.random.Generator) -> None:
+        third = self.p / 3.0
+        for q in self._active_qubits(gate):
+            u = rng.random()
+            if u < third:
+                sim.tableau.x_gate(q)
+            elif u < 2 * third:
+                sim.tableau.y_gate(q)
+            elif u < self.p:
+                sim.tableau.z_gate(q)
+
+    def __repr__(self) -> str:
+        return f"DepolarizingNoise(p={self.p!r})"

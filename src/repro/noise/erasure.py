@@ -1,0 +1,67 @@
+"""Deterministic / uncorrelated erasure (reset) faults.
+
+Figures 6 and 7 of the paper study "erasure" faults: one or more qubits
+suffer the reset error at full intensity (the t=0 moment of a strike)
+*without* spatial spreading.  :class:`ErasureChannel` expresses exactly
+that: each listed qubit is reset after every gate acting on it with a
+fixed probability (1.0 by default).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits import Gate, GateType
+from ..stabilizer.batch import BatchTableauSimulator
+from ..stabilizer.simulator import TableauSimulator
+from .base import NoiseChannel
+
+
+class ErasureChannel(NoiseChannel):
+    """Reset the given qubits after each gate with fixed probability.
+
+    Parameters
+    ----------
+    qubits:
+        Physical qubits hit by the erasure.
+    probability:
+        Reset probability per gate site (paper's Fig. 6/7 use 1.0, the
+        fault magnitude at the moment of impact).
+    """
+
+    def __init__(self, qubits: Sequence[int], probability: float = 1.0) -> None:
+        self.qubits = frozenset(int(q) for q in qubits)
+        if not self.qubits:
+            raise ValueError("erasure needs at least one qubit")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must lie in [0, 1]")
+        self.probability = float(probability)
+
+    def triggers_on(self, gate: Gate) -> bool:
+        if gate.gate_type is GateType.BARRIER or self.probability <= 0.0:
+            return False
+        return any(q in self.qubits for q in gate.qubits)
+
+    def apply_batch(self, gate: Gate, sim: BatchTableauSimulator,
+                    rng: np.random.Generator) -> None:
+        for q in gate.qubits:
+            if q not in self.qubits:
+                continue
+            if self.probability >= 1.0:
+                sim.reset(q)
+            else:
+                mask = rng.random(sim.batch_size) < self.probability
+                if mask.any():
+                    sim.reset(q, mask)
+
+    def apply_single(self, gate: Gate, sim: TableauSimulator,
+                     rng: np.random.Generator) -> None:
+        for q in gate.qubits:
+            if q in self.qubits and rng.random() < self.probability:
+                sim.tableau.reset(q, rng)
+
+    def __repr__(self) -> str:
+        return (f"ErasureChannel(qubits={sorted(self.qubits)}, "
+                f"p={self.probability})")

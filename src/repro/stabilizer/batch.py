@@ -1,0 +1,329 @@
+"""Vectorized batched stabilizer simulator.
+
+Simulates ``B`` independent shots of a Clifford + measure/reset circuit
+simultaneously, holding all ``B`` tableaus in contiguous NumPy arrays
+and applying every operation across the batch in vectorized form.  Per
+the HPC guides, the inner loops are expressed as whole-array boolean
+algebra; Python-level loops only appear over qubits (bounded by the
+register width) and circuit gates.
+
+Stochastic noise is supported through *masked* operations: every gate
+can be restricted to an arbitrary subset of shots, which is how the
+noise executor applies a Pauli error to exactly the shots that sampled
+one.  Masked measurement/reset handle the per-shot branching between
+deterministic and random outcomes without leaving NumPy.
+
+Memory: three arrays of shape ``(B, 2n, n)``/``(B, 2n)`` in ``uint8``;
+for the paper's largest code (30 qubits) and 10⁴ shots this is ~75 MB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuits import Circuit, Gate, GateType
+
+
+def _g_batch(xi: np.ndarray, zi: np.ndarray,
+             xh: np.ndarray, zh: np.ndarray) -> np.ndarray:
+    """Vectorized CHP phase function; int8 inputs broadcast together."""
+    return (
+        (xi & zi) * (zh - xh)
+        + (xi & (1 - zi)) * (zh * (2 * xh - 1))
+        + ((1 - xi) & zi) * (xh * (1 - 2 * zh))
+    )
+
+
+class BatchTableauSimulator:
+    """``batch_size`` independent stabilizer states evolved in lockstep.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width ``n``.
+    batch_size:
+        Number of shots ``B``.
+    rng:
+        Generator (or int seed) for random measurement outcomes.
+    """
+
+    def __init__(self, num_qubits: int, batch_size: int,
+                 rng: Optional[np.random.Generator | int] = None) -> None:
+        if num_qubits <= 0:
+            raise ValueError("need at least one qubit")
+        if batch_size <= 0:
+            raise ValueError("need at least one shot")
+        n = int(num_qubits)
+        B = int(batch_size)
+        self.n = n
+        self.batch_size = B
+        self.x = np.zeros((B, 2 * n, n), dtype=np.uint8)
+        self.z = np.zeros((B, 2 * n, n), dtype=np.uint8)
+        self.r = np.zeros((B, 2 * n), dtype=np.uint8)
+        ar = np.arange(n)
+        self.x[:, ar, ar] = 1
+        self.z[:, ar + n, ar] = 1
+        if rng is None:
+            rng = np.random.default_rng()
+        elif isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    # Masked single-qubit Cliffords
+    # ------------------------------------------------------------------
+    def h(self, a: int, mask: Optional[np.ndarray] = None) -> None:
+        if mask is None:
+            # Copy before assigning: xa/za alias the tableau columns.
+            xa = self.x[:, :, a].copy()
+            za = self.z[:, :, a]
+            self.r ^= xa & za
+            self.x[:, :, a] = za
+            self.z[:, :, a] = xa
+            return
+        xa = self.x[mask, :, a]
+        za = self.z[mask, :, a]
+        self.r[mask] ^= xa & za
+        self.x[mask, :, a] = za
+        self.z[mask, :, a] = xa
+
+    def s(self, a: int, mask: Optional[np.ndarray] = None) -> None:
+        if mask is None:
+            self.r ^= self.x[:, :, a] & self.z[:, :, a]
+            self.z[:, :, a] ^= self.x[:, :, a]
+            return
+        xa = self.x[mask, :, a]
+        za = self.z[mask, :, a]
+        self.r[mask] ^= xa & za
+        self.z[mask, :, a] = za ^ xa
+
+    def sdg(self, a: int, mask: Optional[np.ndarray] = None) -> None:
+        if mask is None:
+            self.r ^= self.x[:, :, a] & (self.z[:, :, a] ^ 1)
+            self.z[:, :, a] ^= self.x[:, :, a]
+            return
+        xa = self.x[mask, :, a]
+        za = self.z[mask, :, a]
+        self.r[mask] ^= xa & (za ^ 1)
+        self.z[mask, :, a] = za ^ xa
+
+    def x_gate(self, a: int, mask: Optional[np.ndarray] = None) -> None:
+        if mask is None:
+            self.r ^= self.z[:, :, a]
+        else:
+            self.r[mask] ^= self.z[mask, :, a]
+
+    def y_gate(self, a: int, mask: Optional[np.ndarray] = None) -> None:
+        if mask is None:
+            self.r ^= self.x[:, :, a] ^ self.z[:, :, a]
+        else:
+            self.r[mask] ^= self.x[mask, :, a] ^ self.z[mask, :, a]
+
+    def z_gate(self, a: int, mask: Optional[np.ndarray] = None) -> None:
+        if mask is None:
+            self.r ^= self.x[:, :, a]
+        else:
+            self.r[mask] ^= self.x[mask, :, a]
+
+    # ------------------------------------------------------------------
+    # Masked two-qubit Cliffords
+    # ------------------------------------------------------------------
+    def cx(self, a: int, b: int, mask: Optional[np.ndarray] = None) -> None:
+        if mask is None:
+            xa = self.x[:, :, a]
+            xb = self.x[:, :, b]
+            za = self.z[:, :, a]
+            zb = self.z[:, :, b]
+            self.r ^= xa & zb & (xb ^ za ^ 1)
+            self.x[:, :, b] = xb ^ xa
+            self.z[:, :, a] = za ^ zb
+            return
+        xa = self.x[mask, :, a]
+        xb = self.x[mask, :, b]
+        za = self.z[mask, :, a]
+        zb = self.z[mask, :, b]
+        self.r[mask] ^= xa & zb & (xb ^ za ^ 1)
+        self.x[mask, :, b] = xb ^ xa
+        self.z[mask, :, a] = za ^ zb
+
+    def cz(self, a: int, b: int, mask: Optional[np.ndarray] = None) -> None:
+        self.h(b, mask)
+        self.cx(a, b, mask)
+        self.h(b, mask)
+
+    def swap(self, a: int, b: int, mask: Optional[np.ndarray] = None) -> None:
+        if mask is None:
+            self.x[:, :, [a, b]] = self.x[:, :, [b, a]]
+            self.z[:, :, [a, b]] = self.z[:, :, [b, a]]
+            return
+        xa = self.x[mask, :, a].copy()
+        self.x[mask, :, a] = self.x[mask, :, b]
+        self.x[mask, :, b] = xa
+        za = self.z[mask, :, a].copy()
+        self.z[mask, :, a] = self.z[mask, :, b]
+        self.z[mask, :, b] = za
+
+    # ------------------------------------------------------------------
+    # Measurement / reset
+    # ------------------------------------------------------------------
+    def measure(self, a: int, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Z-measurement of qubit ``a`` on the masked shots.
+
+        Returns a ``(B,)`` uint8 array; entries outside the mask are 0
+        and the corresponding states are untouched.
+        """
+        B = self.batch_size
+        n = self.n
+        if mask is None:
+            mask = np.ones(B, dtype=bool)
+        outcomes = np.zeros(B, dtype=np.uint8)
+        if not mask.any():
+            return outcomes
+        rand_mask = mask & self.x[:, n:, a].any(axis=1)
+        det_mask = mask & ~rand_mask
+        if det_mask.any():
+            outcomes[det_mask] = self._measure_det(a, det_mask)
+        if rand_mask.any():
+            outcomes[rand_mask] = self._measure_rand(a, rand_mask)
+        return outcomes
+
+    def _measure_det(self, a: int, mask: np.ndarray) -> np.ndarray:
+        """Deterministic branch: qubit in a Z-eigenstate in these shots."""
+        n = self.n
+        S = np.nonzero(mask)[0]
+        k = S.size
+        acc_x = np.zeros((k, n), dtype=np.int8)
+        acc_z = np.zeros((k, n), dtype=np.int8)
+        acc_r = np.zeros(k, dtype=np.int64)
+        xs = self.x[S]
+        zs = self.z[S]
+        rs = self.r[S]
+        for i in range(n):
+            sel = xs[:, i, a] == 1
+            if not sel.any():
+                continue
+            xi = xs[:, i + n, :].astype(np.int8)
+            zi = zs[:, i + n, :].astype(np.int8)
+            gsum = _g_batch(xi, zi, acc_x, acc_z).sum(axis=1, dtype=np.int64)
+            total = 2 * acc_r + 2 * rs[:, i + n].astype(np.int64) + gsum
+            acc_r = np.where(sel, (total % 4) // 2, acc_r)
+            acc_x = np.where(sel[:, None], acc_x ^ xi, acc_x)
+            acc_z = np.where(sel[:, None], acc_z ^ zi, acc_z)
+        return acc_r.astype(np.uint8)
+
+    def _measure_rand(self, a: int, mask: np.ndarray) -> np.ndarray:
+        """Random branch: some stabilizer anticommutes with Z_a."""
+        n = self.n
+        S = np.nonzero(mask)[0]
+        k = S.size
+        xs = self.x[S]
+        zs = self.z[S]
+        rs = self.r[S].astype(np.int64)
+        # First stabilizer row with x=1 on column a, per shot.
+        p = np.argmax(xs[:, n:, a], axis=1) + n  # (k,)
+        rows = np.arange(k)
+        row_xp = xs[rows, p, :]  # (k, n) uint8
+        row_zp = zs[rows, p, :]
+        row_rp = rs[rows, p]
+        # Rows (destabilizer and stabilizer alike) containing X_a, except
+        # row p itself, each absorb row p via rowsum.
+        tgt = xs[:, :, a] == 1  # (k, 2n)
+        tgt[rows, p] = False
+        xi = row_xp[:, None, :].astype(np.int8)
+        zi = row_zp[:, None, :].astype(np.int8)
+        gsum = _g_batch(xi, zi, xs.astype(np.int8), zs.astype(np.int8)).sum(
+            axis=2, dtype=np.int64)  # (k, 2n)
+        total = 2 * rs + 2 * row_rp[:, None] + gsum
+        new_r = ((total % 4) // 2).astype(np.uint8)
+        rs_u8 = self.r[S]
+        rs_u8 = np.where(tgt, new_r, rs_u8)
+        xs = np.where(tgt[:, :, None], xs ^ row_xp[:, None, :], xs)
+        zs = np.where(tgt[:, :, None], zs ^ row_zp[:, None, :], zs)
+        # Destabilizer slot p-n receives the old stabilizer row p.
+        xs[rows, p - n, :] = row_xp
+        zs[rows, p - n, :] = row_zp
+        rs_u8[rows, p - n] = row_rp.astype(np.uint8)
+        # Row p becomes +/- Z_a with a fresh random outcome.
+        outcome = self.rng.integers(0, 2, size=k, dtype=np.uint8)
+        xs[rows, p, :] = 0
+        zs[rows, p, :] = 0
+        zs[rows, p, a] = 1
+        rs_u8[rows, p] = outcome
+        self.x[S] = xs
+        self.z[S] = zs
+        self.r[S] = rs_u8
+        return outcome
+
+    def reset(self, a: int, mask: Optional[np.ndarray] = None) -> None:
+        """Reset qubit ``a`` to |0> on the masked shots."""
+        outcomes = self.measure(a, mask)
+        flip = outcomes.astype(bool)
+        if mask is not None:
+            flip &= mask
+        if flip.any():
+            self.x_gate(a, flip)
+
+    # ------------------------------------------------------------------
+    # Circuit execution
+    # ------------------------------------------------------------------
+    def apply(self, gate: Gate, mask: Optional[np.ndarray] = None,
+              record: Optional[np.ndarray] = None) -> None:
+        """Apply one gate (optionally masked) across the batch."""
+        gt = gate.gate_type
+        if gt is GateType.I or gt is GateType.BARRIER:
+            return
+        if gt is GateType.X:
+            self.x_gate(gate.qubits[0], mask)
+        elif gt is GateType.Y:
+            self.y_gate(gate.qubits[0], mask)
+        elif gt is GateType.Z:
+            self.z_gate(gate.qubits[0], mask)
+        elif gt is GateType.H:
+            self.h(gate.qubits[0], mask)
+        elif gt is GateType.S:
+            self.s(gate.qubits[0], mask)
+        elif gt is GateType.SDG:
+            self.sdg(gate.qubits[0], mask)
+        elif gt is GateType.CX:
+            self.cx(*gate.qubits, mask=mask)
+        elif gt is GateType.CZ:
+            self.cz(*gate.qubits, mask=mask)
+        elif gt is GateType.SWAP:
+            self.swap(*gate.qubits, mask=mask)
+        elif gt is GateType.RESET:
+            self.reset(gate.qubits[0], mask)
+        elif gt is GateType.MEASURE:
+            outcomes = self.measure(gate.qubits[0], mask)
+            if record is not None:
+                if mask is None:
+                    record[:, gate.cbit] = outcomes
+                else:
+                    record[mask, gate.cbit] = outcomes[mask]
+        else:  # pragma: no cover - defensive
+            raise NotImplementedError(gt)
+
+    def run(self, circuit: Circuit) -> np.ndarray:
+        """Run a (noise-free) circuit on every shot.
+
+        Returns the measurement record, shape ``(B, num_cbits)`` uint8.
+        """
+        if circuit.num_qubits > self.n:
+            raise ValueError("circuit wider than simulator register")
+        record = np.zeros((self.batch_size, max(circuit.num_cbits, 1)),
+                          dtype=np.uint8)
+        for gate in circuit:
+            self.apply(gate, record=record)
+        return record
+
+    # ------------------------------------------------------------------
+    def shot_tableau(self, shot: int):
+        """Extract one shot's state as a single :class:`Tableau` (testing)."""
+        from .tableau import Tableau
+
+        t = Tableau(self.n)
+        t.x = self.x[shot].copy()
+        t.z = self.z[shot].copy()
+        t.r = self.r[shot].copy()
+        return t

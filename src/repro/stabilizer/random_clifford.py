@@ -1,0 +1,88 @@
+"""Random Clifford-circuit generation for property-based testing.
+
+Not a uniform sampler over the Clifford group — just a convenient way to
+produce diverse circuits (optionally with measurements and resets) that
+exercise every code path of the simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuits import Circuit, GateType
+
+_DEFAULT_UNITARIES = (
+    GateType.H,
+    GateType.S,
+    GateType.SDG,
+    GateType.X,
+    GateType.Y,
+    GateType.Z,
+    GateType.CX,
+    GateType.CZ,
+    GateType.SWAP,
+)
+
+
+def random_clifford_circuit(
+    num_qubits: int,
+    num_gates: int,
+    rng: Optional[np.random.Generator | int] = None,
+    gate_set: Sequence[GateType] = _DEFAULT_UNITARIES,
+    measure_prob: float = 0.0,
+    reset_prob: float = 0.0,
+) -> Circuit:
+    """Generate a random circuit.
+
+    Parameters
+    ----------
+    num_qubits, num_gates:
+        Register width and number of operations.
+    rng:
+        Seed or generator for reproducibility.
+    gate_set:
+        Unitary gate types to draw from (two-qubit types skipped when
+        ``num_qubits == 1``).
+    measure_prob, reset_prob:
+        Per-site probability of emitting a measurement / reset instead
+        of a unitary.
+    """
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+    from ..circuits.gates import TWO_QUBIT_GATES
+
+    pool = [g for g in gate_set
+            if num_qubits >= 2 or g not in TWO_QUBIT_GATES]
+    if not pool:
+        raise ValueError("empty gate pool")
+    circuit = Circuit(num_qubits, name="random_clifford")
+    cbit = 0
+    for _ in range(num_gates):
+        u = rng.random()
+        if u < measure_prob:
+            q = int(rng.integers(num_qubits))
+            circuit.measure(q, cbit)
+            cbit += 1
+            continue
+        if u < measure_prob + reset_prob:
+            circuit.reset(int(rng.integers(num_qubits)))
+            continue
+        gt = pool[int(rng.integers(len(pool)))]
+        if gt in TWO_QUBIT_GATES:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit._add(gt, int(a), int(b))  # noqa: SLF001 - internal builder
+        else:
+            circuit._add(gt, int(rng.integers(num_qubits)))  # noqa: SLF001
+    return circuit
+
+
+def random_stabilizer_state_circuit(
+    num_qubits: int,
+    rng: Optional[np.random.Generator | int] = None,
+    depth_factor: int = 8,
+) -> Circuit:
+    """A random unitary circuit preparing a random-ish stabilizer state."""
+    return random_clifford_circuit(
+        num_qubits, depth_factor * num_qubits, rng=rng)

@@ -1,0 +1,106 @@
+"""Single-shot stabilizer circuit simulator (reference implementation).
+
+Executes one shot of a :class:`~repro.circuits.circuit.Circuit` on a
+:class:`~repro.stabilizer.tableau.Tableau`.  Exact for Clifford +
+measure/reset circuits.  Used as the correctness oracle for the batched
+simulator and directly by tests; campaign code uses the batch version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuits import Circuit, Gate, GateType
+from .pauli import PauliString
+from .tableau import Tableau
+
+
+class TableauSimulator:
+    """Stateful single-shot simulator.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width.
+    rng:
+        NumPy random generator (or an int seed) supplying random
+        measurement outcomes.
+    """
+
+    def __init__(self, num_qubits: int,
+                 rng: Optional[np.random.Generator | int] = None) -> None:
+        self.tableau = Tableau(num_qubits)
+        if rng is None:
+            rng = np.random.default_rng()
+        elif isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        self.rng = rng
+        self.record: Dict[int, int] = {}
+
+    @property
+    def num_qubits(self) -> int:
+        return self.tableau.n
+
+    # ------------------------------------------------------------------
+    def apply(self, gate: Gate) -> Optional[int]:
+        """Apply one gate; returns the outcome for measurements."""
+        t = self.tableau
+        gt = gate.gate_type
+        if gt is GateType.I or gt is GateType.BARRIER:
+            return None
+        if gt is GateType.X:
+            t.x_gate(gate.qubits[0])
+        elif gt is GateType.Y:
+            t.y_gate(gate.qubits[0])
+        elif gt is GateType.Z:
+            t.z_gate(gate.qubits[0])
+        elif gt is GateType.H:
+            t.h(gate.qubits[0])
+        elif gt is GateType.S:
+            t.s(gate.qubits[0])
+        elif gt is GateType.SDG:
+            t.sdg(gate.qubits[0])
+        elif gt is GateType.CX:
+            t.cx(*gate.qubits)
+        elif gt is GateType.CZ:
+            t.cz(*gate.qubits)
+        elif gt is GateType.SWAP:
+            t.swap(*gate.qubits)
+        elif gt is GateType.RESET:
+            t.reset(gate.qubits[0], self.rng)
+        elif gt is GateType.MEASURE:
+            outcome = t.measure(gate.qubits[0], self.rng)
+            self.record[gate.cbit] = outcome
+            return outcome
+        else:  # pragma: no cover - defensive
+            raise NotImplementedError(gt)
+        return None
+
+    def run(self, circuit: Circuit) -> Dict[int, int]:
+        """Execute every gate in order; returns {cbit: outcome}."""
+        if circuit.num_qubits > self.num_qubits:
+            raise ValueError("circuit wider than simulator register")
+        for gate in circuit:
+            self.apply(gate)
+        return dict(self.record)
+
+    # ------------------------------------------------------------------
+    def measure(self, qubit: int) -> int:
+        return self.tableau.measure(qubit, self.rng)
+
+    def reset(self, qubit: int) -> None:
+        self.tableau.reset(qubit, self.rng)
+
+    def expectation(self, pauli: PauliString) -> int:
+        return self.tableau.expectation(pauli)
+
+    def stabilizers(self):
+        return self.tableau.stabilizers()
+
+
+def run_shot(circuit: Circuit, seed: Optional[int] = None) -> Dict[int, int]:
+    """Convenience: run one shot of ``circuit`` from |0...0>."""
+    sim = TableauSimulator(circuit.num_qubits, rng=seed)
+    return sim.run(circuit)

@@ -1,0 +1,5 @@
+"""Dense statevector simulation (test oracle for the stabilizer sims)."""
+
+from .simulator import StatevectorSimulator
+
+__all__ = ["StatevectorSimulator"]

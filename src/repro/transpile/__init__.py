@@ -1,0 +1,24 @@
+"""Circuit-to-architecture transpilation (layout + SWAP routing)."""
+
+from .layout import (
+    LAYOUTS,
+    GreedyConnectedLayout,
+    Layout,
+    SnakeLayout,
+    TrivialLayout,
+)
+from .routing import RoutedCircuit, route
+from .transpiler import transpile
+from .verify import check_connectivity, records_equal
+
+__all__ = [
+    "LAYOUTS",
+    "Layout",
+    "TrivialLayout",
+    "GreedyConnectedLayout",
+    "RoutedCircuit",
+    "route",
+    "transpile",
+    "check_connectivity",
+    "records_equal",
+]

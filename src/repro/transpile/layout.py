@@ -1,0 +1,183 @@
+"""Initial-layout selection.
+
+Maps each *logical* circuit qubit to a *physical* architecture qubit
+before routing.  Two strategies:
+
+* :class:`TrivialLayout` — identity (logical i -> physical i).
+* :class:`GreedyConnectedLayout` — interaction-aware greedy placement:
+  logical qubits are visited in BFS order over the circuit's interaction
+  graph and each is placed on the free physical qubit minimizing the
+  summed distance to its already-placed interaction partners.  This is
+  the "default optimisation" stand-in for Qiskit's dense layout used in
+  the paper's Fig. 8 transpilation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..arch.graph import ArchitectureGraph
+from ..circuits import Circuit
+
+
+class Layout(abc.ABC):
+    """Strategy object producing an initial logical->physical mapping."""
+
+    @abc.abstractmethod
+    def place(self, circuit: Circuit, arch: ArchitectureGraph,
+              rng: Optional[np.random.Generator] = None) -> Dict[int, int]:
+        """Return ``{logical: physical}`` covering every circuit qubit."""
+
+
+class TrivialLayout(Layout):
+    """Logical qubit i on physical qubit i."""
+
+    def place(self, circuit: Circuit, arch: ArchitectureGraph,
+              rng: Optional[np.random.Generator] = None) -> Dict[int, int]:
+        if circuit.num_qubits > arch.num_qubits:
+            raise ValueError(
+                f"circuit needs {circuit.num_qubits} qubits, architecture "
+                f"has {arch.num_qubits}")
+        return {q: q for q in range(circuit.num_qubits)}
+
+
+class GreedyConnectedLayout(Layout):
+    """Interaction-graph-aware greedy placement (see module docstring)."""
+
+    def place(self, circuit: Circuit, arch: ArchitectureGraph,
+              rng: Optional[np.random.Generator] = None) -> Dict[int, int]:
+        if circuit.num_qubits > arch.num_qubits:
+            raise ValueError(
+                f"circuit needs {circuit.num_qubits} qubits, architecture "
+                f"has {arch.num_qubits}")
+        interactions = circuit.interaction_graph()
+        # Weighted adjacency over logical qubits.
+        adj: Dict[int, Dict[int, int]] = {q: {} for q in range(circuit.num_qubits)}
+        for (a, b), w in interactions.items():
+            adj[a][b] = w
+            adj[b][a] = w
+
+        dist = arch.distance_matrix()
+        order = self._visit_order(circuit.num_qubits, adj)
+        mapping: Dict[int, int] = {}
+        free = set(range(arch.num_qubits))
+
+        for logical in order:
+            placed_partners = [(mapping[p], w) for p, w in adj[logical].items()
+                               if p in mapping]
+            if not placed_partners:
+                # Seed: physical qubit with the highest degree still free.
+                phys = max(free, key=lambda q: (arch.degree(q), -q))
+            else:
+                def cost(q: int) -> float:
+                    return sum(w * dist[q, pp] for pp, w in placed_partners)
+
+                phys = min(free, key=lambda q: (cost(q), -arch.degree(q), q))
+            mapping[logical] = phys
+            free.discard(phys)
+        return mapping
+
+    @staticmethod
+    def _visit_order(num_qubits: int, adj: Dict[int, Dict[int, int]]) -> List[int]:
+        """BFS over the interaction graph, heaviest-degree first."""
+        weight = {q: sum(adj[q].values()) for q in range(num_qubits)}
+        visited: List[int] = []
+        seen = set()
+        pending = sorted(range(num_qubits), key=lambda q: (-weight[q], q))
+        for seed in pending:
+            if seed in seen:
+                continue
+            queue = [seed]
+            seen.add(seed)
+            while queue:
+                q = queue.pop(0)
+                visited.append(q)
+                nxt = sorted((p for p in adj[q] if p not in seen),
+                             key=lambda p: (-adj[q][p], p))
+                for p in nxt:
+                    seen.add(p)
+                    queue.append(p)
+        return visited
+
+
+class SnakeLayout(Layout):
+    """Linearise both graphs and zip them together.
+
+    Logical qubits are ordered by a DFS of the interaction graph
+    (heaviest edges first), physical qubits by a serpentine walk of the
+    architecture (row-major snake when grid positions are known, DFS
+    preorder otherwise).  Chain-structured circuits — repetition-code
+    syndrome extraction in particular — map with near-zero SWAPs.
+    """
+
+    def place(self, circuit: Circuit, arch: ArchitectureGraph,
+              rng: Optional[np.random.Generator] = None) -> Dict[int, int]:
+        if circuit.num_qubits > arch.num_qubits:
+            raise ValueError(
+                f"circuit needs {circuit.num_qubits} qubits, architecture "
+                f"has {arch.num_qubits}")
+        logical_order = self._interaction_dfs(circuit)
+        physical_order = self._serpentine(arch)
+        return {l: physical_order[i] for i, l in enumerate(logical_order)}
+
+    @staticmethod
+    def _interaction_dfs(circuit: Circuit) -> List[int]:
+        interactions = circuit.interaction_graph()
+        adj: Dict[int, Dict[int, int]] = {q: {} for q in range(circuit.num_qubits)}
+        for (a, b), w in interactions.items():
+            adj[a][b] = w
+            adj[b][a] = w
+        degree = {q: len(adj[q]) for q in adj}
+        order: List[int] = []
+        seen = set()
+        # Prefer starting from chain endpoints (degree-1 nodes).
+        starts = sorted(adj, key=lambda q: (degree[q], q))
+        for start in starts:
+            if start in seen:
+                continue
+            stack = [start]
+            while stack:
+                q = stack.pop()
+                if q in seen:
+                    continue
+                seen.add(q)
+                order.append(q)
+                nxt = sorted((p for p in adj[q] if p not in seen),
+                             key=lambda p: (adj[q][p], -p))
+                stack.extend(nxt)  # heaviest edge popped first
+        return order
+
+    @staticmethod
+    def _serpentine(arch: ArchitectureGraph) -> List[int]:
+        if arch.positions:
+            def key(q: int):
+                x, y = arch.positions[q]
+                return (-y, x if int(-y) % 2 == 0 else -x)
+
+            return sorted(range(arch.num_qubits), key=key)
+        # Generic: DFS preorder from a low-degree corner.
+        start = min(range(arch.num_qubits), key=lambda q: (arch.degree(q), q))
+        order: List[int] = []
+        seen = set()
+        stack = [start]
+        while stack:
+            q = stack.pop()
+            if q in seen:
+                continue
+            seen.add(q)
+            order.append(q)
+            stack.extend(sorted((p for p in arch.neighbors(q)
+                                 if p not in seen), reverse=True))
+        # Disconnected architectures: append leftovers deterministically.
+        order.extend(q for q in range(arch.num_qubits) if q not in seen)
+        return order
+
+
+LAYOUTS = {
+    "trivial": TrivialLayout,
+    "greedy": GreedyConnectedLayout,
+    "snake": SnakeLayout,
+}

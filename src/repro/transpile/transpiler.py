@@ -1,0 +1,74 @@
+"""Top-level transpile entry point: layout + routing."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..arch.graph import ArchitectureGraph
+from ..circuits import Circuit
+from .layout import LAYOUTS, Layout
+from .routing import RoutedCircuit, route
+
+
+def transpile(circuit: Circuit, arch: ArchitectureGraph,
+              layout: Union[str, Layout, Dict[int, int]] = "greedy",
+              decompose_swaps: bool = False,
+              routing: str = "lookahead",
+              rng: Optional[np.random.Generator | int] = None
+              ) -> RoutedCircuit:
+    """Map a logical circuit onto an architecture graph.
+
+    Parameters
+    ----------
+    circuit:
+        Logical circuit to map.
+    arch:
+        Target coupling graph.
+    layout:
+        ``"greedy"`` / ``"trivial"``, a :class:`Layout` instance, or an
+        explicit ``{logical: physical}`` dict.
+    decompose_swaps:
+        Expand routing SWAPs into three CNOTs.
+    routing:
+        SWAP policy: ``"lookahead"`` (default) or ``"walk-first"``
+        (naive baseline; kept for the routing ablation bench).
+    rng:
+        Randomness for layout tie-breaking (currently deterministic
+        layouts; kept for API stability).
+
+    Returns
+    -------
+    RoutedCircuit
+        Physical circuit with mapping metadata and SWAP statistics.
+    """
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+    if isinstance(layout, str) and layout == "best":
+        # Route every layout strategy and keep the cheapest result —
+        # the restart-style search real transpilers use.
+        candidates = []
+        for name, cls in LAYOUTS.items():
+            try:
+                placement = cls().place(circuit, arch, rng)
+                candidates.append(route(circuit, arch, placement,
+                                        decompose_swaps=decompose_swaps,
+                                        policy=routing))
+            except ValueError:
+                continue
+        if not candidates:
+            raise ValueError("no layout strategy could place the circuit")
+        return min(candidates, key=lambda r: r.swap_count)
+    if isinstance(layout, dict):
+        placement = layout
+    else:
+        if isinstance(layout, str):
+            try:
+                layout = LAYOUTS[layout]()
+            except KeyError:
+                raise KeyError(f"unknown layout {layout!r}; "
+                               f"known: {sorted(LAYOUTS)} + 'best'") from None
+        placement = layout.place(circuit, arch, rng)
+    return route(circuit, arch, placement, decompose_swaps=decompose_swaps,
+                 policy=routing)

@@ -1,0 +1,50 @@
+"""Transpilation verification helpers.
+
+Used by tests and available to users who bring their own layouts:
+* connectivity compliance — every two-qubit gate must sit on an edge;
+* semantic equivalence — the routed circuit must produce the same
+  classical record distribution as the logical one (checked exactly for
+  deterministic circuits via the reference simulator).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..arch.graph import ArchitectureGraph
+from ..circuits import Circuit, GateType
+from ..stabilizer.simulator import TableauSimulator
+from .routing import RoutedCircuit
+
+
+def check_connectivity(circuit: Circuit, arch: ArchitectureGraph
+                       ) -> List[Tuple[int, Tuple[int, ...]]]:
+    """Return the list of (gate index, qubits) violating the coupling map.
+
+    Empty list means the circuit is architecture-compliant.
+    """
+    bad = []
+    for i, g in enumerate(circuit):
+        if g.num_qubits == 2 and g.gate_type is not GateType.BARRIER:
+            if not arch.has_edge(*g.qubits):
+                bad.append((i, g.qubits))
+    return bad
+
+
+def records_equal(logical: Circuit, routed: RoutedCircuit,
+                  seeds: Tuple[int, ...] = (0, 1, 2, 3, 4)) -> bool:
+    """Compare classical records of logical vs routed circuit.
+
+    Runs both circuits with the same seeds; for circuits whose outcomes
+    are deterministic this is an exact equivalence check, for random
+    outcomes it verifies the record structure matches shot by shot only
+    when the measurement randomness consumption aligns (callers should
+    prefer deterministic circuits).
+    """
+    for seed in seeds:
+        a = TableauSimulator(logical.num_qubits, rng=seed).run(logical)
+        b = TableauSimulator(routed.circuit.num_qubits, rng=seed).run(
+            routed.circuit)
+        if a != b:
+            return False
+    return True

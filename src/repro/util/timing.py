@@ -1,0 +1,43 @@
+"""Lightweight timing helpers (profiling-first workflow per the guides)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock segments."""
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.totals[name] = self.totals.get(name, 0.0) + dt
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def report(self) -> str:
+        lines = []
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(f"{name:30s} {self.totals[name]:9.3f}s "
+                         f"x{self.counts[name]}")
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed(label: str = "") -> Iterator[None]:
+    """Print elapsed wall time of a block (debug convenience)."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        print(f"[{label or 'timed'}] {time.perf_counter() - t0:.3f}s")

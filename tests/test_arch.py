@@ -1,0 +1,168 @@
+"""Tests for architecture graphs."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    ArchitectureGraph,
+    REGISTRY,
+    almaden,
+    brooklyn,
+    by_name,
+    cairo,
+    cambridge,
+    complete,
+    heavy_hex,
+    johannesburg,
+    linear,
+    mesh,
+)
+
+
+class TestBasicGraphs:
+    def test_linear_structure(self):
+        g = linear(5)
+        assert g.num_qubits == 5
+        assert g.num_edges == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_mesh_structure(self):
+        g = mesh(3, 4)
+        assert g.num_qubits == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.degree(0) == 2   # corner
+        assert g.degree(5) == 4   # interior
+
+    def test_complete_structure(self):
+        g = complete(6)
+        assert g.num_edges == 15
+        assert g.diameter() == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            ArchitectureGraph([(0, 0)])
+
+    def test_isolated_qubits_allowed(self):
+        g = ArchitectureGraph([(0, 1)], num_qubits=4)
+        assert g.num_qubits == 4
+        assert not g.is_connected()
+
+
+class TestDeviceGraphs:
+    @pytest.mark.parametrize("factory,expected_qubits", [
+        (almaden, 20), (johannesburg, 20), (cairo, 27),
+        (cambridge, 28), (brooklyn, 65),
+    ])
+    def test_device_qubit_counts(self, factory, expected_qubits):
+        g = factory()
+        assert g.num_qubits == expected_qubits
+        assert g.is_connected()
+
+    def test_heavy_hex_low_degree(self):
+        g = heavy_hex(3)
+        assert g.is_connected()
+        assert max(g.degree(q) for q in range(g.num_qubits)) <= 3
+
+    def test_heavy_hex_rejects_small(self):
+        with pytest.raises(ValueError):
+            heavy_hex(1)
+
+    def test_degree_ordering_matches_families(self):
+        """Mesh is better connected than the heavy-hex devices, which
+        is the property Observation VIII relies on."""
+        assert mesh(5, 6).average_degree() > cairo().average_degree()
+        assert mesh(5, 4).average_degree() > cambridge().average_degree()
+        assert complete(18).average_degree() > mesh(5, 4).average_degree()
+
+
+class TestDistances:
+    def test_distance_matrix_symmetric(self):
+        g = mesh(3, 3)
+        m = g.distance_matrix()
+        np.testing.assert_array_equal(m, m.T)
+
+    def test_manhattan_distance_on_mesh(self):
+        g = mesh(3, 3)
+        assert g.distance(0, 8) == 4  # corner to corner
+        assert g.distance(0, 4) == 2
+
+    def test_distances_from(self):
+        g = linear(4)
+        d = g.distances_from(0)
+        assert d == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+
+    def test_disconnected_distance_infinite(self):
+        g = ArchitectureGraph([(0, 1)], num_qubits=3)
+        assert np.isinf(g.distance(0, 2))
+        assert 2 not in g.distances_from(0)
+
+    def test_shortest_path_endpoints(self):
+        g = mesh(2, 3)
+        path = g.shortest_path(0, 5)
+        assert path[0] == 0
+        assert path[-1] == 5
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b)
+
+    def test_diameter_linear(self):
+        assert linear(7).diameter() == 6
+
+    def test_diameter_disconnected_rejected(self):
+        g = ArchitectureGraph([(0, 1)], num_qubits=3)
+        with pytest.raises(ValueError):
+            g.diameter()
+
+
+class TestSubgraphSampling:
+    def test_sampled_subgraph_is_connected(self):
+        g = mesh(4, 4)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            sub = g.sample_connected_subgraph(5, rng)
+            assert len(sub) == 5
+            induced = g.graph.subgraph(sub)
+            import networkx as nx
+
+            assert nx.is_connected(induced)
+
+    def test_sample_size_one(self):
+        g = mesh(2, 2)
+        rng = np.random.default_rng(1)
+        assert len(g.sample_connected_subgraph(1, rng)) == 1
+
+    def test_sample_whole_graph(self):
+        g = linear(4)
+        rng = np.random.default_rng(2)
+        assert g.sample_connected_subgraph(4, rng) == (0, 1, 2, 3)
+
+    def test_oversized_sample_rejected(self):
+        g = linear(3)
+        with pytest.raises(ValueError):
+            g.sample_connected_subgraph(4, np.random.default_rng(0))
+
+    def test_distinct_subgraphs(self):
+        g = mesh(4, 4)
+        subs = g.sample_connected_subgraphs(3, 10, np.random.default_rng(3))
+        assert len(subs) == len(set(subs)) == 10
+
+
+class TestRegistry:
+    def test_by_name_with_args(self):
+        g = by_name("mesh", 2, 3)
+        assert g.num_qubits == 6
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            by_name("torus")
+
+    def test_registry_covers_paper_architectures(self):
+        for name in ["linear", "mesh", "complete", "almaden",
+                     "johannesburg", "cairo", "cambridge", "brooklyn"]:
+            assert name in REGISTRY
+
+    def test_induced_subgraph(self):
+        g = mesh(2, 3)
+        sub = g.subgraph([0, 1, 2])
+        assert sub.num_qubits == 3
+        assert sub.num_edges == 2

@@ -1,0 +1,33 @@
+"""Tests for the command-line interface (cheap figures only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "injection_prob" in out
+        assert "ablation" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "distance" in out
+
+    def test_fig4_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig4.csv"
+        assert main(["fig4", "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        assert "injection_prob" in csv_path.read_text()
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_help(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0

@@ -1,0 +1,76 @@
+"""Tests for the circuit DAG analysis (Observation VII machinery)."""
+
+from repro.circuits import (
+    Circuit,
+    build_dag,
+    critical_path_length,
+    gate_descendants,
+    qubit_descendant_counts,
+    qubit_light_cone,
+    topological_layers,
+)
+
+
+def chain_circuit():
+    """q0 -> q1 -> q2 dependency chain."""
+    c = Circuit(3)
+    c.h(0)
+    c.cx(0, 1)
+    c.cx(1, 2)
+    c.measure(2, 0)
+    return c
+
+
+class TestDag:
+    def test_edge_structure(self):
+        dag = build_dag(chain_circuit())
+        assert set(dag.edges()) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_gate_descendants(self):
+        c = chain_circuit()
+        assert gate_descendants(c, 0) == {1, 2, 3}
+        assert gate_descendants(c, 3) == set()
+
+    def test_descendant_counts_monotone_along_chain(self):
+        counts = qubit_descendant_counts(chain_circuit())
+        # Earlier qubits reach strictly more gates (Observation VII).
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_unused_qubit_has_zero_count(self):
+        c = Circuit(3).h(0)
+        counts = qubit_descendant_counts(c)
+        assert counts[2] == 0
+
+    def test_light_cone_grows_backwards(self):
+        c = chain_circuit()
+        assert qubit_light_cone(c, 0) == {0, 1, 2}
+        assert qubit_light_cone(c, 2) == {1, 2}
+
+    def test_light_cone_of_unused_qubit_empty(self):
+        assert qubit_light_cone(Circuit(2).h(0), 1) == set()
+
+    def test_disconnected_qubits_independent(self):
+        c = Circuit(2).h(0).h(1)
+        assert qubit_light_cone(c, 0) == {0}
+
+
+class TestLayers:
+    def test_parallel_layers(self):
+        c = Circuit(4).h(0).h(1).cx(0, 1).h(2)
+        layers = topological_layers(c)
+        assert layers[0] == [0, 1, 3]
+        assert layers[1] == [2]
+
+    def test_critical_path_matches_depth(self):
+        c = chain_circuit()
+        assert critical_path_length(c) == c.depth()
+
+    def test_barrier_forces_ordering(self):
+        c = Circuit(2)
+        c.h(0)
+        c.barrier()
+        c.h(1)
+        # h(1) must not land in layer 0 because of the barrier.
+        layers = topological_layers(c)
+        flat = [idx for layer in layers for idx in layer]
+        assert flat.index(0) < flat.index(2)

@@ -1,0 +1,119 @@
+"""Tests for detector-graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.codes import RepetitionCode, XXZZCode
+from repro.decoders import BOUNDARY, DetectorGraph
+
+
+class TestRepetitionGraph:
+    def test_node_count(self):
+        g = DetectorGraph(RepetitionCode(5), rounds=2)
+        assert g.num_plaquettes == 4
+        assert g.num_nodes == 8
+
+    def test_space_edges_chain(self):
+        g = DetectorGraph(RepetitionCode(5), rounds=1)
+        space = [e for e in g.edges if e.qubit is not None]
+        # End data qubits -> boundary, interior -> pairs.
+        boundary_edges = [e for e in space if e.v == BOUNDARY]
+        assert len(boundary_edges) == 2
+        assert len(space) == 5  # one per data qubit
+
+    def test_all_edges_flip_logical(self):
+        """Every data qubit sits on the whole-register parity readout."""
+        g = DetectorGraph(RepetitionCode(5), rounds=1)
+        assert all(e.logical_flip for e in g.edges if e.qubit is not None)
+
+    def test_time_edges(self):
+        g = DetectorGraph(RepetitionCode(5), rounds=3)
+        time = [e for e in g.edges if e.qubit is None]
+        assert len(time) == 4 * 2
+        assert not any(e.logical_flip for e in time)
+
+    def test_no_undetectable_qubits(self):
+        g = DetectorGraph(RepetitionCode(7), rounds=2)
+        assert g.undetectable == []
+
+
+class TestXXZZGraph:
+    def test_dual_basis_graphs(self):
+        code = XXZZCode(3, 3)
+        gz = DetectorGraph(code, rounds=2, basis="Z")
+        gx = DetectorGraph(code, rounds=2, basis="X")
+        assert gz.num_plaquettes == 4
+        assert gx.num_plaquettes == 4
+
+    def test_phase_flip_code_has_undetectable_bitflips(self):
+        """xxzz-(1,3) has no Z checks: every data X error is invisible,
+        which is why the paper's Fig. 6 shows it at ~50%."""
+        g = DetectorGraph(XXZZCode(1, 3), rounds=2, basis="Z")
+        assert g.num_plaquettes == 0
+        assert len(g.undetectable) == 3
+
+    def test_logical_flip_edges_follow_support(self):
+        code = XXZZCode(3, 3)
+        g = DetectorGraph(code, rounds=1, basis="Z")
+        support = set(code.logical_z_support)
+        for e in g.edges:
+            if e.qubit is not None:
+                assert e.logical_flip == (e.qubit in support)
+
+    def test_bad_basis(self):
+        with pytest.raises(ValueError):
+            DetectorGraph(XXZZCode(3, 3), 2, basis="Y")
+
+
+class TestDetectionEvents:
+    def test_first_round_absolute(self):
+        g = DetectorGraph(RepetitionCode(3), rounds=2)
+        syn = np.zeros((1, 2, 2), dtype=np.uint8)
+        syn[0, 0, 1] = 1
+        det = g.detection_events(syn)
+        assert det[0, 0, 1] == 1
+        assert det[0, 1, 1] == 1  # difference propagates
+
+    def test_stable_syndrome_no_event_after_round0(self):
+        g = DetectorGraph(RepetitionCode(3), rounds=2)
+        syn = np.ones((1, 2, 2), dtype=np.uint8)
+        det = g.detection_events(syn)
+        assert det[0, 0].sum() == 2   # round 0 fires vs reference
+        assert det[0, 1].sum() == 0   # no change between rounds
+
+    def test_dual_events_suppress_round0(self):
+        g = DetectorGraph(XXZZCode(3, 3), rounds=2, basis="X")
+        syn = np.random.default_rng(0).integers(
+            0, 2, (4, 2, 4)).astype(np.uint8)
+        det = g.dual_detection_events(syn)
+        assert (det[:, 0, :] == 0).all()
+
+
+class TestPaths:
+    def test_distance_to_boundary(self):
+        g = DetectorGraph(RepetitionCode(5), rounds=1)
+        # End plaquettes are one error from the boundary.
+        assert g.distance_between(0) == 1
+        assert g.distance_between(3) == 1
+        # Middle plaquettes are two errors away.
+        assert g.distance_between(1) == 2
+
+    def test_pairwise_distance(self):
+        g = DetectorGraph(RepetitionCode(5), rounds=1)
+        assert g.distance_between(0, 1) == 1
+        assert g.distance_between(0, 3) == 3
+
+    def test_time_distance(self):
+        g = DetectorGraph(RepetitionCode(5), rounds=2)
+        assert g.distance_between(g.node_id(0, 0), g.node_id(1, 0)) == 1
+
+    def test_parity_along_path(self):
+        g = DetectorGraph(RepetitionCode(5), rounds=1)
+        # Plaquette 0 to boundary: one data error -> one logical flip.
+        assert g.parity_between(0) == 1
+        # Plaquette 0 to plaquette 1: one data error.
+        assert g.parity_between(0, 1) == 1
+
+    def test_parity_time_edge_zero(self):
+        g = DetectorGraph(RepetitionCode(3), rounds=2)
+        assert g.parity_between(g.node_id(0, 0), g.node_id(1, 0)) == 0

@@ -1,0 +1,103 @@
+"""Tests for the post-QEC logical-layer fault injection (paper §VI)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Gate, GateType
+from repro.logical import (
+    LogicalFaultChannel,
+    criticality_ranking,
+    logical_fault_injection,
+    output_distribution,
+    total_variation,
+)
+from repro.noise import NoiseModel, run_batch_noisy
+
+
+def ghz(n=3):
+    c = Circuit(n)
+    c.h(0)
+    for i in range(n - 1):
+        c.cx(i, i + 1)
+    for i in range(n):
+        c.measure(i, i)
+    return c
+
+
+class TestChannel:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            LogicalFaultChannel({0: 1.5})
+
+    def test_accepts_sequence(self):
+        ch = LogicalFaultChannel([0.1, 0.0, 0.2])
+        assert ch.rates == {0: 0.1, 1: 0.0, 2: 0.2}
+
+    def test_triggers_only_on_hot_qubits(self):
+        ch = LogicalFaultChannel({1: 0.5})
+        assert not ch.triggers_on(Gate(GateType.H, (0,)))
+        assert ch.triggers_on(Gate(GateType.CX, (0, 1)))
+
+    def test_zero_rates_never_trigger(self):
+        ch = LogicalFaultChannel({0: 0.0})
+        assert not ch.triggers_on(Gate(GateType.H, (0,)))
+
+    def test_flip_statistics(self):
+        circ = Circuit(1).x(0).measure(0, 0)
+        noise = NoiseModel([LogicalFaultChannel({0: 0.3})])
+        rec = run_batch_noisy(circ, noise, 10_000, rng=1)
+        assert np.mean(rec[:, 0] == 0) == pytest.approx(0.3, abs=0.02)
+
+    def test_phase_rates_affect_plus_state(self):
+        circ = Circuit(1).h(0).h(0).measure(0, 0)
+        # Z error between the Hadamards flips the outcome.
+        noise = NoiseModel([LogicalFaultChannel({}, phase_rates={0: 1.0})])
+        rec = run_batch_noisy(circ, noise, 200, rng=2)
+        assert (rec[:, 0] == 1).all()
+
+
+class TestDistributions:
+    def test_output_distribution_normalised(self):
+        rec = np.array([[0, 0], [0, 1], [0, 1], [1, 1]], dtype=np.uint8)
+        dist = output_distribution(rec)
+        assert dist == {"00": 0.25, "01": 0.5, "11": 0.25}
+
+    def test_total_variation_bounds(self):
+        p = {"0": 1.0}
+        q = {"1": 1.0}
+        assert total_variation(p, q) == 1.0
+        assert total_variation(p, p) == 0.0
+
+    def test_total_variation_partial(self):
+        p = {"0": 0.5, "1": 0.5}
+        q = {"0": 1.0}
+        assert total_variation(p, q) == pytest.approx(0.5)
+
+
+class TestInjection:
+    def test_zero_rates_zero_distance(self):
+        impact = logical_fault_injection(ghz(), {0: 0.0}, shots=800, rng=4)
+        # Same sampler statistics: distance stays at sampling-noise level.
+        assert impact.tv_distance < 0.08
+
+    def test_struck_qubit_shifts_output(self):
+        impact = logical_fault_injection(ghz(), {1: 0.5}, shots=3000, rng=5)
+        assert impact.tv_distance > 0.2
+        # GHZ ideal support is 000/111 only; faults leak elsewhere.
+        leaked = sum(v for k, v in impact.faulty.items()
+                     if k[:3] not in ("000", "111"))
+        assert leaked > 0.1
+
+    def test_top_outcomes(self):
+        impact = logical_fault_injection(ghz(), {0: 0.2}, shots=1500, rng=6)
+        top = impact.top_outcomes(2)
+        assert len(top) == 2
+        assert all(len(t) == 3 for t in top)
+
+    def test_criticality_ranking_orders_by_damage(self):
+        rows = criticality_ranking(ghz(), base_rate=0.001, struck_rate=0.4,
+                                   shots=1500, rng=7)
+        assert len(rows) == 3
+        assert rows[0]["tv_distance"] >= rows[-1]["tv_distance"]
+        # Every strike does measurable damage in a GHZ circuit.
+        assert all(r["tv_distance"] > 0.1 for r in rows)

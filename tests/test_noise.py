@@ -1,0 +1,237 @@
+"""Tests for the noise models (paper Eqs. 4-7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import mesh
+from repro.circuits import Circuit, Gate, GateType
+from repro.noise import (
+    DepolarizingNoise,
+    ErasureChannel,
+    NoiseModel,
+    RadiationChannel,
+    RadiationEvent,
+    run_batch_noisy,
+    run_single_noisy,
+    sample_times,
+    spatial_damping,
+    stepped_temporal_decay,
+    temporal_decay,
+    transient_decay,
+)
+
+
+class TestDecayFunctions:
+    def test_temporal_decay_at_strike(self):
+        assert temporal_decay(0.0) == pytest.approx(1.0)
+
+    def test_temporal_decay_gamma(self):
+        assert temporal_decay(1.0) == pytest.approx(np.exp(-10.0))
+        assert temporal_decay(0.5, gamma=2.0) == pytest.approx(np.exp(-1.0))
+
+    def test_sample_times_span_window(self):
+        ts = sample_times(10)
+        assert ts[0] == 0.0
+        assert ts[-1] == 1.0
+        assert len(ts) == 10
+        np.testing.assert_allclose(np.diff(ts), np.diff(ts)[0])
+
+    def test_sample_times_single(self):
+        assert sample_times(1).tolist() == [0.0]
+
+    def test_sample_times_rejects_zero(self):
+        with pytest.raises(ValueError):
+            sample_times(0)
+
+    def test_stepped_decay_is_piecewise_constant(self):
+        # Steps change at k/9 for n_s = 10; points within a step match.
+        t = np.array([0.0, 0.05, 0.12, 0.20])
+        stepped = stepped_temporal_decay(t, num_samples=10)
+        assert stepped[0] == stepped[1]          # both in step 0
+        assert stepped[2] == stepped[3]          # both in step 1
+        assert stepped[0] > stepped[2]
+
+    def test_stepped_decay_upper_bounds_continuous(self):
+        t = np.linspace(0, 1, 500)
+        assert np.all(stepped_temporal_decay(t) >= temporal_decay(t) - 1e-12)
+
+    def test_spatial_damping_eq6(self):
+        assert spatial_damping(0) == pytest.approx(1.0)
+        assert spatial_damping(1) == pytest.approx(0.25)
+        assert spatial_damping(3) == pytest.approx(1.0 / 16.0)
+
+    def test_spatial_damping_custom_n(self):
+        assert spatial_damping(2, n=2.0) == pytest.approx(4.0 / 16.0)
+
+    def test_transient_decay_product(self):
+        assert transient_decay(0.3, 2) == pytest.approx(
+            temporal_decay(0.3) * spatial_damping(2))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0, 1), st.integers(0, 20))
+    def test_transient_decay_is_probability(self, t, d):
+        f = transient_decay(t, d)
+        assert 0.0 <= f <= 1.0
+
+
+class TestDepolarizingNoise:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            DepolarizingNoise(1.5)
+
+    def test_zero_probability_never_triggers(self):
+        ch = DepolarizingNoise(0.0)
+        assert not ch.triggers_on(Gate(GateType.H, (0,)))
+
+    def test_triggers_on_unitaries_only_by_default(self):
+        ch = DepolarizingNoise(0.1)
+        assert ch.triggers_on(Gate(GateType.CX, (0, 1)))
+        assert not ch.triggers_on(Gate(GateType.MEASURE, (0,), cbit=0))
+        assert not ch.triggers_on(Gate(GateType.RESET, (0,)))
+
+    def test_measurement_inclusion_flag(self):
+        ch = DepolarizingNoise(0.1, include_measurements=True)
+        assert ch.triggers_on(Gate(GateType.MEASURE, (0,), cbit=0))
+
+    def test_qubit_restriction(self):
+        ch = DepolarizingNoise(0.1, qubits=[2])
+        assert not ch.triggers_on(Gate(GateType.H, (0,)))
+        assert ch.triggers_on(Gate(GateType.H, (2,)))
+
+    def test_error_rate_statistics(self):
+        """A single gate at p produces a bit-flip with prob ~2p/3
+        (X and Y components flip the Z-basis outcome)."""
+        p = 0.3
+        circ = Circuit(1).i(0)
+        circ._gates[0] = Gate(GateType.X, (0,))  # X then noise then measure
+        circ.measure(0, 0)
+        rec = run_batch_noisy(circ, NoiseModel([DepolarizingNoise(p)]),
+                              20_000, rng=5)
+        flips = np.mean(rec[:, 0] == 0)
+        assert flips == pytest.approx(2 * p / 3, abs=0.02)
+
+    def test_single_shot_path_statistics(self):
+        p = 0.5
+        circ = Circuit(1).x(0).measure(0, 0)
+        noise = NoiseModel([DepolarizingNoise(p)])
+        flips = sum(run_single_noisy(circ, noise, rng=s)[0] == 0
+                    for s in range(1200))
+        assert flips / 1200 == pytest.approx(2 * p / 3, abs=0.06)
+
+
+class TestErasureChannel:
+    def test_requires_qubits(self):
+        with pytest.raises(ValueError):
+            ErasureChannel([])
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            ErasureChannel([0], probability=-0.1)
+
+    def test_full_probability_pins_qubit(self):
+        circ = Circuit(1).x(0).measure(0, 0)
+        noise = NoiseModel([ErasureChannel([0], 1.0)])
+        rec = run_batch_noisy(circ, noise, 50, rng=1)
+        assert (rec[:, 0] == 0).all()
+
+    def test_partial_probability(self):
+        circ = Circuit(1).x(0).measure(0, 0)
+        noise = NoiseModel([ErasureChannel([0], 0.25)])
+        rec = run_batch_noisy(circ, noise, 8000, rng=2)
+        assert np.mean(rec[:, 0] == 0) == pytest.approx(0.25, abs=0.02)
+
+    def test_untargeted_qubits_untouched(self):
+        circ = Circuit(2).x(0).x(1).measure(0, 0).measure(1, 1)
+        noise = NoiseModel([ErasureChannel([0], 1.0)])
+        rec = run_batch_noisy(circ, noise, 50, rng=3)
+        assert (rec[:, 1] == 1).all()
+
+
+class TestRadiationEvent:
+    def make_event(self, **kw):
+        arch = mesh(3, 3)
+        defaults = dict(root_qubit=4, distances=arch.distances_from(4),
+                        num_qubits=9)
+        defaults.update(kw)
+        return RadiationEvent(**defaults)
+
+    def test_root_probability_decays(self):
+        ev = self.make_event()
+        probs = [ev.root_probability(k) for k in range(10)]
+        assert probs[0] == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_spatial_profile_at_strike(self):
+        ev = self.make_event()
+        p = ev.qubit_probabilities(0)
+        assert p[4] == pytest.approx(1.0)          # root
+        assert p[1] == pytest.approx(0.25)          # distance 1
+        assert p[0] == pytest.approx(1.0 / 9.0)     # distance 2
+
+    def test_no_spread_confines_to_root(self):
+        ev = self.make_event(spread=False)
+        p = ev.qubit_probabilities(0)
+        assert p[4] == pytest.approx(1.0)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_unreachable_qubits_zero(self):
+        ev = RadiationEvent(0, {0: 0.0, 1: 1.0}, num_qubits=3)
+        p = ev.qubit_probabilities(0)
+        assert p[2] == 0.0
+
+    def test_distance_outside_register_rejected(self):
+        with pytest.raises(ValueError):
+            RadiationEvent(0, {5: 1.0}, num_qubits=3)
+
+    def test_channel_factory(self):
+        ev = self.make_event()
+        ch = ev.channel(0)
+        assert isinstance(ch, RadiationChannel)
+        assert ch.triggers_on(Gate(GateType.H, (4,)))
+
+    def test_event_times_match_sampling(self):
+        ev = self.make_event(num_samples=5)
+        assert len(ev.times) == 5
+
+
+class TestRadiationChannel:
+    def test_rejects_bad_probability_vector(self):
+        with pytest.raises(ValueError):
+            RadiationChannel([0.5, 1.5])
+
+    def test_triggers_only_on_hot_qubits(self):
+        ch = RadiationChannel([0.0, 1.0])
+        assert not ch.triggers_on(Gate(GateType.H, (0,)))
+        assert ch.triggers_on(Gate(GateType.H, (1,)))
+        assert ch.triggers_on(Gate(GateType.CX, (0, 1)))
+
+    def test_triggers_on_measure_and_reset(self):
+        """Radiation is a physical process: it also follows non-unitary
+        circuit operations."""
+        ch = RadiationChannel([1.0])
+        assert ch.triggers_on(Gate(GateType.MEASURE, (0,), cbit=0))
+        assert ch.triggers_on(Gate(GateType.RESET, (0,)))
+
+    def test_full_intensity_resets_state(self):
+        circ = Circuit(1).x(0).measure(0, 0)
+        noise = NoiseModel([RadiationChannel([1.0])])
+        rec = run_batch_noisy(circ, noise, 40, rng=4)
+        assert (rec[:, 0] == 0).all()
+
+
+class TestNoiseModel:
+    def test_compose(self):
+        m = NoiseModel.compose(NoiseModel([DepolarizingNoise(0.1)]),
+                               NoiseModel([ErasureChannel([0])]))
+        assert len(m) == 2
+
+    def test_add_chains(self):
+        m = NoiseModel().add(DepolarizingNoise(0.1))
+        assert len(m) == 1
+
+    def test_none_noise_allowed_in_executor(self):
+        circ = Circuit(1).x(0).measure(0, 0)
+        rec = run_batch_noisy(circ, None, 10, rng=0)
+        assert (rec[:, 0] == 1).all()

@@ -1,0 +1,131 @@
+"""Unit + property tests for the Pauli algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stabilizer import PauliString
+from repro.stabilizer.pauli import symplectic_commutes
+
+
+def pauli_strategy(n=4):
+    return st.builds(
+        lambda xs, zs, ph: PauliString(np.array(xs), np.array(zs), ph),
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),
+        st.integers(0, 3),
+    )
+
+
+class TestConstruction:
+    def test_identity(self):
+        p = PauliString.identity(3)
+        assert p.weight == 0
+        assert p.label() == "+III"
+
+    def test_from_label_roundtrip(self):
+        for label in ["+XIZ", "-YY", "+ZZZZ", "-IXYZ"]:
+            assert PauliString.from_label(label).label() == label
+
+    def test_from_label_phases(self):
+        assert PauliString.from_label("iX").phase == 1
+        assert PauliString.from_label("-X").phase == 2
+
+    def test_y_carries_i_factor(self):
+        y = PauliString.from_label("Y")
+        assert y.phase == 1  # Y = i XZ
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString.from_label("XQ")
+
+    def test_single(self):
+        p = PauliString.single(3, 1, "Y")
+        assert p.label() == "+IYI"
+
+    def test_mismatched_xz_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString([1, 0], [1])
+
+
+class TestAlgebra:
+    def test_xz_anticommute(self):
+        x = PauliString.from_label("X")
+        z = PauliString.from_label("Z")
+        assert not x.commutes_with(z)
+
+    def test_xx_zz_commute(self):
+        assert PauliString.from_label("XX").commutes_with(
+            PauliString.from_label("ZZ"))
+
+    def test_product_xy(self):
+        x = PauliString.from_label("X")
+        y = PauliString.from_label("Y")
+        # X @ Y = iZ
+        assert (x * y).label() == "iZ"
+
+    def test_product_matches_matrices(self):
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            a = PauliString(rng.integers(0, 2, 3), rng.integers(0, 2, 3),
+                            int(rng.integers(0, 4)))
+            b = PauliString(rng.integers(0, 2, 3), rng.integers(0, 2, 3),
+                            int(rng.integers(0, 4)))
+            np.testing.assert_allclose(
+                (a * b).to_matrix(), a.to_matrix() @ b.to_matrix(),
+                atol=1e-12)
+
+    def test_neg(self):
+        p = PauliString.from_label("X")
+        assert (-p).label() == "-X"
+
+    def test_hermitian_detection(self):
+        assert PauliString.from_label("XYZ").is_hermitian()
+        assert not PauliString(np.array([1]), np.array([0]), 1).is_hermitian()
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(pauli_strategy(), pauli_strategy())
+    def test_commutation_matches_matrix(self, a, b):
+        mat_comm = np.allclose(
+            a.to_matrix() @ b.to_matrix(), b.to_matrix() @ a.to_matrix())
+        assert a.commutes_with(b) == mat_comm
+
+    @settings(max_examples=60, deadline=None)
+    @given(pauli_strategy())
+    def test_self_commutes(self, p):
+        assert p.commutes_with(p)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pauli_strategy(), pauli_strategy())
+    def test_product_weight_support(self, a, b):
+        prod = a * b
+        support = set(prod.support())
+        assert support <= set(a.support()) | set(b.support())
+
+    @settings(max_examples=60, deadline=None)
+    @given(pauli_strategy(), pauli_strategy(), pauli_strategy())
+    def test_product_associative(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pauli_strategy())
+    def test_square_is_scalar(self, p):
+        sq = p * p
+        assert sq.weight == 0
+
+
+class TestSymplecticBatch:
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        x1 = rng.integers(0, 2, (20, 5), dtype=np.uint8)
+        z1 = rng.integers(0, 2, (20, 5), dtype=np.uint8)
+        x2 = rng.integers(0, 2, (20, 5), dtype=np.uint8)
+        z2 = rng.integers(0, 2, (20, 5), dtype=np.uint8)
+        batch = symplectic_commutes(x1, z1, x2, z2)
+        for i in range(20):
+            a = PauliString(x1[i], z1[i])
+            b = PauliString(x2[i], z2[i])
+            assert batch[i] == a.commutes_with(b)

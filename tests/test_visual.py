@@ -1,0 +1,55 @@
+"""Tests for the ASCII circuit renderer."""
+
+import pytest
+
+from repro.circuits import Circuit, draw
+from repro.codes import RepetitionCode, build_memory_experiment
+
+
+class TestDraw:
+    def test_single_qubit_gates(self):
+        c = Circuit(1).h(0).x(0)
+        art = draw(c)
+        assert "H" in art
+        assert "X" in art
+
+    def test_cx_markers(self):
+        c = Circuit(2).cx(0, 1)
+        art = draw(c)
+        assert "*" in art
+        assert "+" in art
+
+    def test_measure_shows_cbit(self):
+        c = Circuit(1).measure(0, 3)
+        assert "M3" in draw(c)
+
+    def test_reset_marker(self):
+        c = Circuit(1).reset(0)
+        assert "|0>" in draw(c)
+
+    def test_custom_labels(self):
+        c = Circuit(2).h(0)
+        art = draw(c, qubit_labels=["data", "anc"])
+        assert "data" in art
+        assert "anc" in art
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValueError):
+            draw(Circuit(2), qubit_labels=["only-one"])
+
+    def test_wraps_long_circuits(self):
+        c = Circuit(1)
+        for _ in range(100):
+            c.h(0)
+        art = draw(c, max_width=40)
+        assert art.count("q0:") > 1  # wrapped into multiple blocks
+
+    def test_empty_circuit(self):
+        art = draw(Circuit(2))
+        assert "q0" in art
+
+    def test_full_memory_circuit_renders(self):
+        exp = build_memory_experiment(RepetitionCode(3))
+        art = draw(exp.circuit)
+        assert art  # smoke: no crash, some content
+        assert "M0" in art
