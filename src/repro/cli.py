@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any paper figure's data.
+"""Command-line entry point: figures and campaign sweeps.
 
 Usage::
 
@@ -6,11 +6,21 @@ Usage::
     python -m repro fig5 --shots 500
     python -m repro headline        # all observation checks (long)
     repro fig6 --workers 8 --csv out.csv
+    repro fig5 --store fig5.jsonl   # checkpoint / resume the sweep
+    repro campaign spec.json --store sweep.jsonl --adaptive 0.2
+
+``repro campaign`` runs an arbitrary sweep described by a JSON spec
+(codes × architectures × faults × noise levels — see
+:mod:`repro.injection.sweep`) through the orchestration engine, with
+JSONL checkpointing (``--store``, resumable by re-running the same
+command) and adaptive shot allocation (``--adaptive REL``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -19,20 +29,61 @@ from .analysis.report import ascii_table, percent, to_csv
 
 def _write(rows, args, title: str) -> None:
     print(ascii_table(rows, title=title))
-    if args.csv:
+    if getattr(args, "csv", None):
         with open(args.csv, "w", encoding="utf-8") as fh:
             fh.write(to_csv(rows))
         print(f"\n[csv written to {args.csv}]")
 
 
+def _sibling_csv(path: str, suffix: str) -> str:
+    """``out.csv`` → ``out.<suffix>.csv`` for a command's extra table."""
+    stem, ext = os.path.splitext(path)
+    return f"{stem}.{suffix}{ext}" if ext else f"{path}.{suffix}"
+
+
+#: Default adaptive floor; kept in one place so _policy can tell an
+#: explicit --min-shots from the untouched default.
+DEFAULT_MIN_SHOTS = 512
+
+
+def _policy(args):
+    """Build the adaptive policy requested on the command line."""
+    from .injection.adaptive import AdaptivePolicy
+
+    if getattr(args, "adaptive", None) is None:
+        if getattr(args, "max_shots", None) is not None or \
+                getattr(args, "min_shots", DEFAULT_MIN_SHOTS) \
+                != DEFAULT_MIN_SHOTS:
+            sys.exit("error: --min-shots/--max-shots only apply to "
+                     "adaptive runs; pass --adaptive REL as well")
+        return None
+    return AdaptivePolicy(rel_halfwidth=args.adaptive,
+                          min_shots=args.min_shots,
+                          max_shots=args.max_shots)
+
+
+def _engine_kwargs(args) -> dict:
+    """Campaign-engine pass-through shared by figure subcommands."""
+    return {
+        "max_workers": args.workers,
+        "store": getattr(args, "store", None),
+        "adaptive": _policy(args),
+        "chunk_shots": getattr(args, "chunk_shots", None),
+    }
+
+
 def cmd_fig3(args) -> None:
     from .experiments import fig3_temporal
 
-    data = fig3_temporal.run()
+    fig3_temporal.run()
     _write(fig3_temporal.sample_table(), args,
            "Fig. 3 — sampled injection probabilities (gamma=10, ns=10)")
     print()
-    _write(fig3_temporal.sampling_ablation(), args and argparse.Namespace(csv=None),
+    # The ablation is a second table: give it a sibling CSV path rather
+    # than clobbering the main one (or dropping it, as this once did).
+    ablation_args = argparse.Namespace(
+        csv=_sibling_csv(args.csv, "ablation") if args.csv else None)
+    _write(fig3_temporal.sampling_ablation(), ablation_args,
            "n_s ablation — step-function approximation error")
 
 
@@ -47,8 +98,7 @@ def cmd_fig4(args) -> None:
 def cmd_fig5(args) -> None:
     from .experiments import fig5_landscape
 
-    landscapes = fig5_landscape.run(shots=args.shots,
-                                    max_workers=args.workers)
+    landscapes = fig5_landscape.run(shots=args.shots, **_engine_kwargs(args))
     rows = []
     for ls in landscapes.values():
         rows.extend(ls.to_rows())
@@ -65,7 +115,7 @@ def cmd_fig5(args) -> None:
 def cmd_fig6(args) -> None:
     from .experiments import fig6_distance
 
-    rows = fig6_distance.run(shots=args.shots, max_workers=args.workers)
+    rows = fig6_distance.run(shots=args.shots, **_engine_kwargs(args))
     _write([r.to_row() for r in rows], args,
            "Fig. 6 — logical error criticality by code distance")
     adv = fig6_distance.bitflip_advantage(rows)
@@ -77,7 +127,7 @@ def cmd_fig6(args) -> None:
 def cmd_fig7(args) -> None:
     from .experiments import fig7_spread
 
-    data = fig7_spread.run(shots=args.shots, max_workers=args.workers)
+    data = fig7_spread.run(shots=args.shots, **_engine_kwargs(args))
     rows = []
     for d in data:
         rows.extend(d.to_rows())
@@ -92,7 +142,7 @@ def cmd_fig7(args) -> None:
 def cmd_fig8(args) -> None:
     from .experiments import fig8_architecture
 
-    data = fig8_architecture.run(shots=args.shots, max_workers=args.workers)
+    data = fig8_architecture.run(shots=args.shots, **_engine_kwargs(args))
     _write([d.to_row() for d in data], args,
            "Fig. 8 — logical error by architecture")
     print()
@@ -110,20 +160,57 @@ def cmd_headline(args) -> None:
                               fig8_architecture, headline)
 
     shots = args.shots
+    kwargs = _engine_kwargs(args)
     print("[1/4] Fig. 5 landscape...", flush=True)
-    landscapes = fig5_landscape.run(shots=shots, max_workers=args.workers)
+    landscapes = fig5_landscape.run(shots=shots, **kwargs)
     print("[2/4] Fig. 6 distances...", flush=True)
-    distance_rows = fig6_distance.run(shots=shots, max_workers=args.workers)
+    distance_rows = fig6_distance.run(shots=shots, **kwargs)
     print("[3/4] Fig. 7 spread...", flush=True)
-    spread_data = fig7_spread.run(shots=shots, max_workers=args.workers)
+    spread_data = fig7_spread.run(shots=shots, **kwargs)
     print("[4/4] Fig. 8 architectures...", flush=True)
-    arch_data = fig8_architecture.run(shots=max(200, shots // 2),
-                                      max_workers=args.workers)
+    arch_data = fig8_architecture.run(shots=max(200, shots // 2), **kwargs)
     checks = headline.check_all(landscapes, distance_rows, spread_data,
                                 arch_data)
     _write([c.to_row() for c in checks], args,
            "Paper observations I-VIII — paper vs measured")
 
+
+def cmd_campaign(args) -> None:
+    from .injection.store import CampaignStore
+    from .injection.sweep import build_sweep
+
+    with open(args.spec, "r", encoding="utf-8") as fh:
+        spec = json.load(fh)
+    if args.shots is not None:
+        spec["shots"] = args.shots
+    campaign = build_sweep(spec)
+    policy = _policy(args)
+    store = CampaignStore(args.store) if args.store else None
+    banked = campaign.banked(store, adaptive=policy)
+    print(f"campaign: {len(campaign)} points"
+          + (f" ({banked} already complete in {args.store})" if store
+             else ""))
+    results = campaign.run(max_workers=args.workers,
+                           chunk_shots=args.chunk_shots,
+                           adaptive=policy, resume=store)
+    _write(results.to_rows(), args, f"Campaign — {args.spec}")
+    ceiling = sum(policy.ceiling(t.shots) if policy else t.shots
+                  for t in campaign.tasks)
+    spent = results.total_shots()
+    line = f"{len(results)} points, {spent} shots"
+    if policy is not None and 0 < spent <= ceiling:
+        line += (f" of {ceiling} ceiling "
+                 f"({percent(1 - spent / ceiling)} saved by early stopping)")
+    elif policy is not None:
+        # banked results from an earlier (bigger-budget) run exceed
+        # this policy's ceiling — extra precision, nothing "saved"
+        line += f" (exceeds the {ceiling}-shot ceiling via banked results)"
+    print(line)
+
+
+#: Figure subcommands that execute injection campaigns (and therefore
+#: accept the engine flags); fig3/fig4 are analytic.
+CAMPAIGN_FIGURES = ("fig5", "fig6", "fig7", "fig8", "headline")
 
 COMMANDS = {
     "fig3": cmd_fig3,
@@ -133,24 +220,60 @@ COMMANDS = {
     "fig7": cmd_fig7,
     "fig8": cmd_fig8,
     "headline": cmd_headline,
+    "campaign": cmd_campaign,
 }
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def _add_engine_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--store", type=str, default=None,
+                     help="JSONL checkpoint file; re-running with the "
+                          "same store resumes instead of restarting")
+    sub.add_argument("--adaptive", type=float, default=None, metavar="REL",
+                     help="adaptive shot allocation: stop each point "
+                          "once its Wilson half-width is REL x its rate")
+    sub.add_argument("--min-shots", type=int, default=DEFAULT_MIN_SHOTS,
+                     help="adaptive floor before a point may stop")
+    sub.add_argument("--max-shots", type=int, default=None,
+                     help="adaptive ceiling (default: the task's shots)")
+    sub.add_argument("--chunk-shots", type=int, default=None,
+                     help="streaming chunk size (checkpoint granularity)")
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate figures from the SC'24 surface-codes-"
-                    "under-radiation paper.")
-    parser.add_argument("figure", choices=sorted(COMMANDS),
-                        help="which figure/table to regenerate")
-    parser.add_argument("--shots", type=int, default=800,
-                        help="shots per configuration point")
-    parser.add_argument("--workers", type=int, default=None,
-                        help="process-pool size (default: all cores)")
-    parser.add_argument("--csv", type=str, default=None,
-                        help="also write rows to this CSV file")
-    args = parser.parse_args(argv)
-    COMMANDS[args.figure](args)
+                    "under-radiation paper, or run custom sweeps.")
+    subs = parser.add_subparsers(dest="command", required=True,
+                                 metavar="command")
+    for name in ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                 "headline"):
+        sub = subs.add_parser(name, help=f"regenerate {name} data")
+        sub.add_argument("--shots", type=int, default=800,
+                         help="shots per configuration point")
+        sub.add_argument("--workers", type=int, default=None,
+                         help="process-pool size (default: all cores)")
+        sub.add_argument("--csv", type=str, default=None,
+                         help="also write rows to this CSV file")
+        if name in CAMPAIGN_FIGURES:
+            _add_engine_options(sub)
+    camp = subs.add_parser(
+        "campaign", help="run a JSON sweep spec through the engine")
+    camp.add_argument("spec", type=str,
+                      help="path to the sweep spec (JSON)")
+    camp.add_argument("--shots", type=int, default=None,
+                      help="override the spec's per-point shot budget")
+    camp.add_argument("--workers", type=int, default=None,
+                      help="process-pool size (default: all cores)")
+    camp.add_argument("--csv", type=str, default=None,
+                      help="also write result rows to this CSV file")
+    _add_engine_options(camp)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    COMMANDS[args.command](args)
     return 0
 
 

@@ -14,10 +14,13 @@ at the defaults.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
-from ..injection.campaign import _prepared
+from ..injection.adaptive import AdaptivePolicy
+from ..injection.campaign import Campaign, _prepared
+from ..injection.results import ResultSet
 from ..injection.spec import ArchSpec, CodeSpec, InjectionTask
+from ..injection.store import CampaignStore
 
 #: Paper default intrinsic noise (§IV-C).
 DEFAULT_P = 0.01
@@ -25,6 +28,22 @@ DEFAULT_P = 0.01
 DEFAULT_ROUNDS = 2
 #: Temporal samples of the radiation step function (§III-B).
 NUM_TIME_SAMPLES = 10
+
+
+def execute(campaign: Campaign, max_workers: Optional[int] = None,
+            store: Union[CampaignStore, str, None] = None,
+            adaptive: Optional[AdaptivePolicy] = None,
+            chunk_shots: Optional[int] = None) -> ResultSet:
+    """Run a figure campaign through the orchestration engine.
+
+    The single funnel every experiment module uses, so campaign-level
+    features — chunked streaming, JSONL checkpoint/resume (``store``
+    takes a :class:`CampaignStore` or a path), adaptive shot allocation
+    — apply uniformly to all figures without per-module plumbing.
+    """
+    return campaign.run(max_workers=max_workers, chunk_shots=chunk_shots,
+                        adaptive=adaptive,
+                        resume=CampaignStore.coerce(store))
 
 
 def fitting_mesh(num_qubits: int, max_cols: int = 6) -> ArchSpec:

@@ -22,7 +22,7 @@ from ..analysis.landscape import Landscape
 from ..injection import Campaign, InjectionTask
 from ..injection.spec import ArchSpec, CodeSpec, FaultSpec
 from ..noise.radiation import sample_times, temporal_decay
-from .common import DEFAULT_ROUNDS, NUM_TIME_SAMPLES
+from .common import DEFAULT_ROUNDS, NUM_TIME_SAMPLES, execute
 
 #: The two paper configurations: (code, lattice, root qubit).
 CONFIGS: Tuple[Tuple[CodeSpec, ArchSpec, int], ...] = (
@@ -53,12 +53,14 @@ def build_campaign(shots: int = 1500,
 
 
 def run(shots: int = 1500, p_values: Sequence[float] = P_VALUES,
-        configs=CONFIGS, max_workers: Optional[int] = None
+        configs=CONFIGS, max_workers: Optional[int] = None,
+        store=None, adaptive=None, chunk_shots: Optional[int] = None
         ) -> Dict[str, Landscape]:
     """Execute the sweep and assemble one landscape per code."""
     campaign = build_campaign(shots=shots, p_values=p_values,
                               configs=configs)
-    results = campaign.run(max_workers=max_workers)
+    results = execute(campaign, max_workers=max_workers, store=store,
+                      adaptive=adaptive, chunk_shots=chunk_shots)
     times = sample_times(NUM_TIME_SAMPLES)
     landscapes: Dict[str, Landscape] = {}
     for code, _, _ in configs:

@@ -20,7 +20,8 @@ import numpy as np
 from ..analysis.stats import median_with_iqr
 from ..injection import Campaign, InjectionTask
 from ..injection.spec import ArchSpec, CodeSpec, FaultSpec
-from .common import DEFAULT_P, DEFAULT_ROUNDS, fitting_mesh, used_physical_qubits
+from .common import (DEFAULT_P, DEFAULT_ROUNDS, execute, fitting_mesh,
+                     used_physical_qubits)
 
 #: Repetition-code distances of Fig. 6a.
 REP_DISTANCES: Tuple[Tuple[int, int], ...] = (
@@ -91,9 +92,11 @@ class DistanceRow:
 
 
 def run(shots: int = 600, max_workers: Optional[int] = None,
-        max_roots: Optional[int] = None) -> List[DistanceRow]:
+        max_roots: Optional[int] = None, store=None, adaptive=None,
+        chunk_shots: Optional[int] = None) -> List[DistanceRow]:
     campaign = build_campaign(shots=shots, max_roots=max_roots)
-    results = campaign.run(max_workers=max_workers)
+    results = execute(campaign, max_workers=max_workers, store=store,
+                      adaptive=adaptive, chunk_shots=chunk_shots)
     rows: List[DistanceRow] = []
     for spec, _ in _configs():
         sub = results.filter_tags(family=spec.kind,

@@ -23,7 +23,8 @@ from ..analysis.stats import median_with_iqr
 from ..injection import Campaign, InjectionTask
 from ..injection.spec import ArchSpec, CodeSpec, FaultSpec
 from ..injection.campaign import build_arch
-from .common import DEFAULT_P, DEFAULT_ROUNDS, fitting_mesh, used_physical_qubits
+from .common import (DEFAULT_P, DEFAULT_ROUNDS, execute, fitting_mesh,
+                     used_physical_qubits)
 
 #: Paper configurations: code, erased-cluster sizes shown on the x-axis.
 CONFIGS: Tuple[Tuple[CodeSpec, Tuple[int, ...]], ...] = (
@@ -130,11 +131,13 @@ class SpreadData:
 
 def run(shots: int = 800, max_workers: Optional[int] = None,
         samples_per_size: int = SAMPLES_PER_SIZE,
-        configs=CONFIGS) -> List[SpreadData]:
+        configs=CONFIGS, store=None, adaptive=None,
+        chunk_shots: Optional[int] = None) -> List[SpreadData]:
     campaign = build_campaign(shots=shots,
                               samples_per_size=samples_per_size,
                               configs=configs)
-    results = campaign.run(max_workers=max_workers)
+    results = execute(campaign, max_workers=max_workers, store=store,
+                      adaptive=adaptive, chunk_shots=chunk_shots)
     out: List[SpreadData] = []
     for code, sizes in configs:
         sub = results.filter_tags(fig="fig7", code=code.label)

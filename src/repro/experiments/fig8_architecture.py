@@ -26,6 +26,7 @@ from .common import (
     DEFAULT_P,
     DEFAULT_ROUNDS,
     NUM_TIME_SAMPLES,
+    execute,
     initial_layout_roles,
     used_physical_qubits,
 )
@@ -132,11 +133,13 @@ class ArchitectureData:
 
 def run(shots: int = 400, max_workers: Optional[int] = None,
         configs=CONFIGS, time_indices: Optional[Sequence[int]] = None,
-        max_roots: Optional[int] = None) -> List[ArchitectureData]:
+        max_roots: Optional[int] = None, store=None, adaptive=None,
+        chunk_shots: Optional[int] = None) -> List[ArchitectureData]:
     campaign = build_campaign(shots=shots, configs=configs,
                               time_indices=time_indices,
                               max_roots=max_roots)
-    results = campaign.run(max_workers=max_workers)
+    results = execute(campaign, max_workers=max_workers, store=store,
+                      adaptive=adaptive, chunk_shots=chunk_shots)
     out: List[ArchitectureData] = []
     for code, archs in configs:
         for arch in archs:

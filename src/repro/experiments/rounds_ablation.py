@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..injection import Campaign, InjectionTask
 from ..injection.spec import ArchSpec, CodeSpec, FaultSpec
-from .common import DEFAULT_P
+from .common import DEFAULT_P, execute
 
 #: Round counts swept (paper value: 2).
 ROUND_COUNTS: Tuple[int, ...] = (1, 2, 3, 4, 6)
@@ -54,9 +54,11 @@ class RoundsRow:
 
 
 def run(shots: int = 1000, max_workers: Optional[int] = None,
-        rounds_list: Sequence[int] = ROUND_COUNTS) -> List[RoundsRow]:
-    results = build_campaign(shots=shots,
-                             rounds_list=rounds_list).run(max_workers)
+        rounds_list: Sequence[int] = ROUND_COUNTS, store=None,
+        adaptive=None, chunk_shots: Optional[int] = None) -> List[RoundsRow]:
+    results = execute(build_campaign(shots=shots, rounds_list=rounds_list),
+                      max_workers=max_workers, store=store,
+                      adaptive=adaptive, chunk_shots=chunk_shots)
     rows = []
     for rounds in rounds_list:
         sub = results.filter_tags(rounds=rounds)

@@ -1,12 +1,30 @@
 """Quantum fault-injection toolkit (the paper's §III contribution)."""
 
-from .campaign import Campaign, run_task
-from .results import InjectionResult, ResultSet, wilson_interval
+from .adaptive import AdaptivePolicy
+from .campaign import (
+    DEFAULT_CHUNK_SHOTS,
+    SIM_BLOCK,
+    Campaign,
+    iter_task_chunks,
+    run_task,
+)
+from .results import ChunkResult, InjectionResult, ResultSet, wilson_interval
 from .spec import ArchSpec, CodeSpec, FaultSpec, InjectionTask
+from .store import CampaignStore, task_key
+from .sweep import build_sweep, sweep_size
 
 __all__ = [
+    "AdaptivePolicy",
     "Campaign",
+    "CampaignStore",
+    "ChunkResult",
+    "DEFAULT_CHUNK_SHOTS",
+    "SIM_BLOCK",
+    "build_sweep",
+    "sweep_size",
+    "iter_task_chunks",
     "run_task",
+    "task_key",
     "InjectionResult",
     "ResultSet",
     "wilson_interval",

@@ -1,0 +1,78 @@
+"""Adaptive shot allocation for campaign points.
+
+Fixed shot counts are the wrong tool for radiation campaigns: the
+interesting regimes sit at very low logical-error rates, so a count
+large enough to resolve them wastes compute on every mid-rate point,
+while a count sized for mid-rate points under-resolves the tails.
+An :class:`AdaptivePolicy` instead keeps sampling a point — one chunk
+at a time — until its Wilson interval is tight enough relative to the
+measured rate, or a shot ceiling is reached.
+
+Stopping decisions depend only on the cumulative ``(errors, shots)``
+at chunk boundaries, and chunk streams are seeded deterministically
+from the task seed, so adaptive runs are exactly reproducible and
+resumable mid-point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .results import wilson_interval
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Early-stopping rule evaluated after each finished chunk.
+
+    Parameters
+    ----------
+    rel_halfwidth:
+        Stop once the Wilson half-width is at most this fraction of the
+        measured rate (e.g. ``0.25`` → ±25% relative precision).
+    abs_halfwidth:
+        Alternative absolute target; satisfied when the half-width
+        itself drops below it.  Either criterion stopping is enough.
+    min_shots / min_errors:
+        Never stop before both are reached — a handful of lucky shots
+        at a low-rate point must not end sampling prematurely.
+    max_shots:
+        Shot ceiling; ``None`` uses the task's own ``shots`` field, so
+        existing fixed-shot campaigns keep their budget as an upper
+        bound and simply finish early when the target is met.
+    z:
+        Normal quantile of the interval (1.96 → 95%).
+    """
+
+    rel_halfwidth: float = 0.25
+    abs_halfwidth: Optional[float] = None
+    min_shots: int = 512
+    min_errors: int = 5
+    max_shots: Optional[int] = None
+    z: float = 1.96
+
+    def __post_init__(self) -> None:
+        if self.rel_halfwidth <= 0:
+            raise ValueError("rel_halfwidth must be positive")
+        if self.min_shots < 1:
+            raise ValueError("min_shots must be at least 1")
+
+    def ceiling(self, task_shots: int) -> int:
+        """The hard shot cap for a task."""
+        return task_shots if self.max_shots is None else int(self.max_shots)
+
+    def satisfied(self, errors: int, shots: int) -> bool:
+        """True when ``(errors, shots)`` meets the precision target."""
+        if shots < self.min_shots or errors < self.min_errors:
+            return False
+        lo, hi = wilson_interval(errors, shots, self.z)
+        half = (hi - lo) / 2.0
+        if self.abs_halfwidth is not None and half <= self.abs_halfwidth:
+            return True
+        return half <= self.rel_halfwidth * (errors / shots)
+
+    def should_stop(self, errors: int, shots: int, task_shots: int) -> bool:
+        """Stop when the target is met or the ceiling is exhausted."""
+        return shots >= self.ceiling(task_shots) or \
+            self.satisfied(errors, shots)

@@ -1,11 +1,29 @@
-"""Fault-injection campaign runner.
+"""Fault-injection campaign engine.
 
 Executes :class:`~repro.injection.spec.InjectionTask` points: build the
 memory experiment, transpile it onto the task's architecture, attach the
 intrinsic noise model and the specified fault, run the batched noisy
-simulation, decode, count logical errors.  Points are independent, so
-campaigns distribute over a process pool (serial fallback) with one
-deterministic random stream per task.
+simulation, decode, count logical errors.
+
+Execution is **chunked and streaming**: a task's shot budget is
+partitioned into canonical simulation blocks of :data:`SIM_BLOCK` shots,
+each seeded independently from the task seed via ``SeedSequence``
+(:func:`repro.util.rng.block_seed`).  Blocks are the only unit that ever
+touches the simulator, so
+
+* memory stays bounded at any shot count (one block of records at a
+  time, counts aggregated as scalars),
+* a run's counts are **bit-identical however the blocks are grouped**
+  into chunks — single-chunk, streamed, interrupted-and-resumed, serial
+  or process-parallel all agree,
+* adaptive policies can stop between chunks without perturbing the
+  sampled stream of any shot that did run.
+
+Chunks (whole numbers of blocks, :data:`DEFAULT_CHUNK_SHOTS` shots by
+default) are the checkpoint/decision granularity: after each chunk the
+engine can persist progress to a :class:`~repro.injection.store.
+CampaignStore` and ask an :class:`~repro.injection.adaptive.
+AdaptivePolicy` whether the point is resolved.
 """
 
 from __future__ import annotations
@@ -13,12 +31,12 @@ from __future__ import annotations
 import dataclasses
 import time
 from functools import lru_cache
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import (Callable, Iterable, Iterator, List, Optional, Tuple,
+                    Union)
 
 import numpy as np
 
 from ..codes.base import MemoryExperiment
-from ..decoders import decoder_for
 from ..noise import (
     DepolarizingNoise,
     ErasureChannel,
@@ -26,11 +44,18 @@ from ..noise import (
     RadiationEvent,
     run_batch_noisy,
 )
+from ..decoders import decoder_for
 from ..transpile import transpile
 from ..util.parallel import parallel_map
-from ..util.rng import task_seed
-from .results import InjectionResult, ResultSet
+from ..util.rng import block_seed, task_seed
+from .adaptive import AdaptivePolicy
+from .results import SIM_BLOCK, ChunkResult, InjectionResult, ResultSet
 from .spec import ArchSpec, CodeSpec, InjectionTask, build_arch, build_experiment
+from .store import CampaignStore, task_key
+
+#: Default chunk (checkpoint / adaptive-decision) granularity, in shots.
+#: Rounded up to a whole number of blocks.
+DEFAULT_CHUNK_SHOTS = 2 * SIM_BLOCK
 
 
 @lru_cache(maxsize=256)
@@ -81,27 +106,143 @@ def _build_noise(task: InjectionTask, experiment: MemoryExperiment
     return NoiseModel(channels)
 
 
-def run_task(task: InjectionTask) -> InjectionResult:
-    """Execute one campaign point (picklable module-level worker)."""
-    t0 = time.perf_counter()
-    experiment, decoder, swap_count = _prepared(
+def _normalize_chunk(chunk_shots: Optional[int]) -> int:
+    """Round a requested chunk size up to a whole number of blocks."""
+    if chunk_shots is None:
+        return DEFAULT_CHUNK_SHOTS
+    chunk_shots = int(chunk_shots)
+    if chunk_shots < 1:
+        raise ValueError("chunk_shots must be positive")
+    blocks = -(-chunk_shots // SIM_BLOCK)
+    return blocks * SIM_BLOCK
+
+
+def iter_task_chunks(task: InjectionTask,
+                     chunk_shots: Optional[int] = None,
+                     start_shot: int = 0,
+                     total_shots: Optional[int] = None
+                     ) -> Iterator[ChunkResult]:
+    """Stream a task's shots chunk by chunk.
+
+    Yields one :class:`ChunkResult` per chunk covering
+    ``[start_shot, total_shots)`` (``total_shots`` defaults to
+    ``task.shots``).  ``start_shot`` must sit on a block boundary —
+    the only positions a checkpoint can legally stop at short of the
+    final, possibly partial, block.
+    """
+    total = task.shots if total_shots is None else int(total_shots)
+    chunk = _normalize_chunk(chunk_shots)
+    if start_shot % SIM_BLOCK and start_shot < total:
+        raise ValueError(
+            f"start_shot {start_shot} is not on a {SIM_BLOCK}-shot "
+            f"block boundary")
+    experiment, decoder, _ = _prepared(
         task.code, task.rounds, task.basis, task.arch, task.layout,
         task.decoder, task.readout)
     noise = _build_noise(task, experiment)
-    records = run_batch_noisy(experiment.circuit, noise, task.shots,
-                              rng=task.seed)
-    result = decoder.decode_batch(experiment, records)
-    raw = experiment.raw_readout(records)
-    raw_errors = int(np.count_nonzero(raw != experiment.expected_logical))
+    pos = start_shot
+    while pos < total:
+        t0 = time.perf_counter()
+        end = min(total, pos + chunk)
+        errors = raw = corr = 0
+        block = pos
+        while block < end:
+            size = min(SIM_BLOCK, end - block)
+            rng = np.random.default_rng(
+                block_seed(task.seed, block // SIM_BLOCK))
+            records = run_batch_noisy(experiment.circuit, noise, size,
+                                      rng=rng)
+            decoded = decoder.decode_batch(experiment, records)
+            readout = experiment.raw_readout(records)
+            errors += decoded.num_errors
+            raw += int(np.count_nonzero(readout != experiment.expected_logical))
+            corr += int(np.count_nonzero(decoded.corrections))
+            block += size
+        yield ChunkResult(start=pos, shots=end - pos, errors=errors,
+                          raw_errors=raw, corrections_applied=corr,
+                          elapsed_s=time.perf_counter() - t0)
+        pos = end
+
+
+def _assemble(task: InjectionTask, shots: int, errors: int, raw: int,
+              corr: int, elapsed: float, chunks: int) -> InjectionResult:
+    _, _, swap_count = _prepared(
+        task.code, task.rounds, task.basis, task.arch, task.layout,
+        task.decoder, task.readout)
     return InjectionResult(
-        task=task,
-        shots=task.shots,
-        errors=result.num_errors,
-        raw_errors=raw_errors,
-        corrections_applied=int(np.count_nonzero(result.corrections)),
-        swap_count=swap_count,
-        elapsed_s=time.perf_counter() - t0,
-    )
+        task=task, shots=shots, errors=errors, raw_errors=raw,
+        corrections_applied=corr, swap_count=swap_count,
+        elapsed_s=elapsed, chunks=max(chunks, 1))
+
+
+def run_task(task: InjectionTask,
+             chunk_shots: Optional[int] = None,
+             adaptive: Optional[AdaptivePolicy] = None,
+             prior: Tuple[int, int, int, int, float, int] = (0, 0, 0, 0,
+                                                             0.0, 0),
+             on_chunk: Optional[Callable[[ChunkResult], None]] = None
+             ) -> InjectionResult:
+    """Execute one campaign point (picklable module-level worker).
+
+    ``prior`` — ``(shots, errors, raw_errors, corrections, elapsed_s,
+    chunks)`` already banked for this point (store resume); execution
+    continues at the next block boundary.  With an ``adaptive`` policy
+    the point stops at the first chunk boundary where the precision
+    target is met, capped at ``adaptive.ceiling(task.shots)``; otherwise
+    exactly ``task.shots`` run.  ``on_chunk`` fires after each finished
+    chunk (serial checkpoint streaming).
+    """
+    shots, errors, raw, corr, elapsed, nchunks = prior
+    target = adaptive.ceiling(task.shots) if adaptive else task.shots
+    if not (adaptive and adaptive.should_stop(errors, shots, task.shots)) \
+            and shots < target:
+        for chunk in iter_task_chunks(task, chunk_shots=chunk_shots,
+                                      start_shot=shots,
+                                      total_shots=target):
+            shots = chunk.end
+            errors += chunk.errors
+            raw += chunk.raw_errors
+            corr += chunk.corrections_applied
+            elapsed += chunk.elapsed_s
+            nchunks += 1
+            if on_chunk is not None:
+                on_chunk(chunk)
+            if adaptive and adaptive.should_stop(errors, shots, task.shots):
+                break
+    return _assemble(task, shots, errors, raw, corr, elapsed, nchunks)
+
+
+def _reusable(banked: Optional[InjectionResult],
+              adaptive: Optional[AdaptivePolicy]) -> bool:
+    """Is a stored completed result valid for the *current* run mode?
+
+    The task key pins the spec (including the shot budget) but not the
+    stopping rule, so a point completed by an adaptive run may hold
+    fewer shots than the fixed budget.  A fixed-mode resume therefore
+    only reuses full-budget results (and tops up the banked chunks
+    otherwise — the blocks are canonical, so continuing is exact); an
+    adaptive resume reuses anything its own policy would have stopped
+    at, including full-budget results.
+    """
+    if banked is None:
+        return False
+    if adaptive is None:
+        return banked.shots >= banked.task.shots
+    return adaptive.should_stop(banked.errors, banked.shots,
+                                banked.task.shots)
+
+
+def _run_point(payload: Tuple[InjectionTask, Optional[int],
+                              Optional[AdaptivePolicy],
+                              Tuple[int, int, int, int, float, int]]
+               ) -> Tuple[InjectionResult, List[ChunkResult]]:
+    """Pool worker: run one point, returning its new chunks for the
+    parent process to checkpoint (workers never touch the store file)."""
+    task, chunk_shots, adaptive, prior = payload
+    new_chunks: List[ChunkResult] = []
+    result = run_task(task, chunk_shots=chunk_shots, adaptive=adaptive,
+                      prior=prior, on_chunk=new_chunks.append)
+    return result, new_chunks
 
 
 class Campaign:
@@ -139,8 +280,73 @@ class Campaign:
             out.append(t)
         return out
 
-    def run(self, max_workers: Optional[int] = None) -> ResultSet:
-        """Run all tasks; ``max_workers=1`` forces serial execution."""
+    def banked(self, store: Union[CampaignStore, str, None],
+               adaptive: Optional[AdaptivePolicy] = None) -> int:
+        """How many of *this campaign's* points a resume would skip
+        (store files are shared across campaigns, so ``len(store)``
+        over-counts)."""
+        store = CampaignStore.coerce(store)
+        if store is None:
+            return 0
+        return sum(1 for t in self._seeded()
+                   if _reusable(store.result_for(t), adaptive))
+
+    def run(self, max_workers: Optional[int] = None,
+            chunk_shots: Optional[int] = None,
+            adaptive: Optional[AdaptivePolicy] = None,
+            resume: Union[CampaignStore, str, None] = None) -> ResultSet:
+        """Run all tasks; ``max_workers=1`` forces serial execution.
+
+        ``resume`` — a :class:`CampaignStore` (or its path): completed
+        points are reconstructed from the checkpoint instead of re-run,
+        partially-sampled points continue from their last recorded
+        chunk, and every newly finished chunk/point is appended, so a
+        killed campaign picks up where it stopped with identical
+        results.  ``adaptive`` applies an early-stopping policy to every
+        point (``task.shots`` becomes the ceiling unless the policy
+        carries its own).
+        """
         seeded = self._seeded()
-        results = parallel_map(run_task, seeded, max_workers=max_workers)
+        store = CampaignStore.coerce(resume)
+        results: List[Optional[InjectionResult]] = [None] * len(seeded)
+        todo: List[int] = []
+        payloads = []
+        keys: List[Optional[str]] = [None] * len(seeded)
+        for i, t in enumerate(seeded):
+            prior = (0, 0, 0, 0, 0.0, 0)
+            if store is not None:
+                keys[i] = task_key(t)
+                banked = store.result_for(t)
+                if _reusable(banked, adaptive):
+                    results[i] = banked
+                    continue
+                prior = store.partial(keys[i])
+            todo.append(i)
+            payloads.append((t, chunk_shots, adaptive, prior))
+
+        if store is not None and (max_workers == 1 or len(payloads) <= 1):
+            # Serial + store: stream every chunk straight to the
+            # checkpoint, so even a kill mid-point loses at most one
+            # chunk of work.
+            for j, (t, cs, ad, prior) in enumerate(payloads):
+                i, key = todo[j], keys[todo[j]]
+                result = run_task(
+                    t, chunk_shots=cs, adaptive=ad, prior=prior,
+                    on_chunk=lambda c, k=key: store.append_chunk(k, c))
+                store.mark_done(key, result)
+                results[i] = result
+            return ResultSet(results)
+
+        def checkpoint(j: int, out: Tuple[InjectionResult,
+                                          List[ChunkResult]]) -> None:
+            result, new_chunks = out
+            i = todo[j]
+            results[i] = result
+            if store is not None:
+                for chunk in new_chunks:
+                    store.append_chunk(keys[i], chunk)
+                store.mark_done(keys[i], result)
+
+        parallel_map(_run_point, payloads, max_workers=max_workers,
+                     on_result=checkpoint)
         return ResultSet(results)

@@ -11,6 +11,13 @@ import numpy as np
 
 from .spec import InjectionTask
 
+#: Canonical simulation block: the batch size every shot is actually
+#: simulated at.  Part of the reproducibility contract — changing it
+#: changes every sampled stream (keep it fixed; tune *chunk* size for
+#: scheduling instead).  Lives here, next to :class:`ChunkResult`, so
+#: both the engine and the store can see it without an import cycle.
+SIM_BLOCK = 512
+
 
 def wilson_interval(errors: int, shots: int, z: float = 1.96
                     ) -> Tuple[float, float]:
@@ -29,6 +36,42 @@ def wilson_interval(errors: int, shots: int, z: float = 1.96
     return (max(0.0, centre - half), min(1.0, centre + half))
 
 
+@dataclass(frozen=True)
+class ChunkResult:
+    """Counts from one contiguous chunk of a task's shot budget.
+
+    Chunks are the engine's streaming/checkpoint unit: they aggregate a
+    whole number of canonical simulation blocks, so a chunk's counts
+    depend only on the task spec and its ``[start, start+shots)`` range
+    — never on how the surrounding run was scheduled or interrupted.
+    """
+
+    start: int
+    shots: int
+    errors: int
+    raw_errors: int
+    corrections_applied: int
+    elapsed_s: float = 0.0
+
+    @property
+    def end(self) -> int:
+        return self.start + self.shots
+
+    def to_row(self) -> Dict[str, object]:
+        return {"start": self.start, "shots": self.shots,
+                "errors": self.errors, "raw_errors": self.raw_errors,
+                "corrections": self.corrections_applied,
+                "elapsed_s": self.elapsed_s}
+
+    @classmethod
+    def from_row(cls, row: Dict[str, object]) -> "ChunkResult":
+        return cls(start=int(row["start"]), shots=int(row["shots"]),
+                   errors=int(row["errors"]),
+                   raw_errors=int(row["raw_errors"]),
+                   corrections_applied=int(row["corrections"]),
+                   elapsed_s=float(row.get("elapsed_s", 0.0)))
+
+
 @dataclass
 class InjectionResult:
     """Outcome of one campaign point."""
@@ -40,6 +83,7 @@ class InjectionResult:
     corrections_applied: int   # shots where the decoder flipped readout
     swap_count: int = 0
     elapsed_s: float = 0.0
+    chunks: int = 1            # streaming chunks the counts aggregate
 
     @property
     def logical_error_rate(self) -> float:
@@ -52,6 +96,13 @@ class InjectionResult:
     @property
     def confidence_interval(self) -> Tuple[float, float]:
         return wilson_interval(self.errors, self.shots)
+
+    @property
+    def counts(self) -> Tuple[int, int, int, int]:
+        """``(shots, errors, raw_errors, corrections)`` — the
+        deterministic payload, excluding timing/bookkeeping."""
+        return (self.shots, self.errors, self.raw_errors,
+                self.corrections_applied)
 
     def to_row(self) -> Dict[str, object]:
         lo, hi = self.confidence_interval
@@ -123,6 +174,15 @@ class ResultSet:
         shots = sum(r.shots for r in self.results)
         errors = sum(r.errors for r in self.results)
         return errors / shots if shots else float("nan")
+
+    def total_shots(self) -> int:
+        """Shots spent across the whole set (adaptive-run budget line)."""
+        return sum(r.shots for r in self.results)
+
+    def counts(self) -> List[Tuple[int, int, int, int]]:
+        """Per-point deterministic payloads, in task order — two runs of
+        the same campaign are equal iff their ``counts()`` are."""
+        return [r.counts for r in self.results]
 
     def group_by(self, key: Callable[[InjectionResult], object]
                  ) -> Dict[object, "ResultSet"]:

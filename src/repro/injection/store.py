@@ -1,0 +1,192 @@
+"""Persistent campaign checkpoint store (append-only JSONL).
+
+Long sweeps die — machines reboot, jobs hit walltime, laptops sleep.
+The store turns a campaign into a resumable computation: every finished
+chunk and every completed point is appended as one JSON line keyed by a
+stable hash of the task spec, so ``Campaign.run(resume=store)`` skips
+completed points, continues partially-sampled ones at the next chunk
+boundary, and — because chunk streams are seeded deterministically —
+produces bit-identical counts to an uninterrupted run with the same
+settings (adaptive stopping decisions happen at chunk boundaries, so
+resume adaptive sweeps with the same policy and ``chunk_shots``).
+
+The format is deliberately dumb: one self-describing JSON object per
+line, tolerant of a torn final line after a crash, diffable, and
+mergeable with ``cat``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Tuple, Union
+
+from .results import SIM_BLOCK, ChunkResult, InjectionResult
+from .spec import InjectionTask
+
+#: Bump when the canonical task serialization changes shape.
+KEY_VERSION = 1
+
+
+def canonical_task(task: InjectionTask) -> Dict[str, object]:
+    """A plain, deterministic dict capturing the full task identity."""
+    d = dataclasses.asdict(task)
+    d["tags"] = sorted([list(kv) for kv in task.tags])
+    return d
+
+
+def task_key(task: InjectionTask) -> str:
+    """Stable content hash identifying one campaign point.
+
+    Every spec field participates — including seed and shot budget —
+    so a key never aliases two points that could sample differently.
+    """
+    blob = json.dumps({"v": KEY_VERSION, "task": canonical_task(task)},
+                      sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+
+class CampaignStore:
+    """JSONL-backed chunk/result checkpoint for one or more campaigns.
+
+    Record kinds:
+
+    ``{"kind": "chunk", "key": k, "start": s, "shots": n, ...counts}``
+        one finished streaming chunk of point ``k``;
+    ``{"kind": "done", "key": k, ...aggregate, "task": {...}}``
+        point ``k`` completed (fixed budget exhausted or adaptive
+        target met).  The embedded task dict is informational — results
+        are reconstructed against the in-memory task, whose key must
+        match.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = os.fspath(path)
+        self._chunks: Dict[str, List[ChunkResult]] = {}
+        self._done: Dict[str, Dict[str, object]] = {}
+        self._fh = None
+        if os.path.exists(self.path):
+            self._load()
+
+    @classmethod
+    def coerce(cls, obj: Union["CampaignStore", str, os.PathLike, None]
+               ) -> Optional["CampaignStore"]:
+        if obj is None or isinstance(obj, CampaignStore):
+            return obj
+        return cls(obj)
+
+    # -- reading -------------------------------------------------------
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from a crash mid-write
+                kind = rec.get("kind")
+                if kind == "chunk":
+                    self._chunks.setdefault(rec["key"], []).append(
+                        ChunkResult.from_row(rec))
+                elif kind == "done":
+                    self._done[rec["key"]] = rec
+
+    def done_record(self, key: str) -> Optional[Dict[str, object]]:
+        return self._done.get(key)
+
+    def chunks_for(self, key: str) -> List[ChunkResult]:
+        return sorted(self._chunks.get(key, ()), key=lambda c: c.start)
+
+    def partial(self, key: str) -> Tuple[int, int, int, int, float, int]:
+        """Aggregate the resumable chunk prefix recorded for ``key``.
+
+        Returns ``(shots, errors, raw_errors, corrections, elapsed_s,
+        num_chunks)``.  Chunks after a gap or overlap (e.g. from a
+        mangled merge) are discarded rather than double-counted, and the
+        prefix is trimmed back to the last ``SIM_BLOCK`` boundary: a
+        point that *completed* on a partial final block (shots not a
+        block multiple) is reused via its done record, but execution can
+        only be extended from an aligned position — the truncated
+        block's counts are dropped and resampled at full size when a
+        later run raises the ceiling.
+        """
+        shots = errors = raw = corr = nchunks = 0
+        elapsed = 0.0
+        aligned = (0, 0, 0, 0, 0.0, 0)
+        for chunk in self.chunks_for(key):
+            if chunk.start != shots:
+                break
+            shots += chunk.shots
+            errors += chunk.errors
+            raw += chunk.raw_errors
+            corr += chunk.corrections_applied
+            elapsed += chunk.elapsed_s
+            nchunks += 1
+            if shots % SIM_BLOCK == 0:
+                aligned = (shots, errors, raw, corr, elapsed, nchunks)
+        if shots % SIM_BLOCK == 0:
+            return shots, errors, raw, corr, elapsed, nchunks
+        return aligned
+
+    def result_for(self, task: InjectionTask) -> Optional[InjectionResult]:
+        """Reconstruct a completed point's result, or ``None``."""
+        rec = self._done.get(task_key(task))
+        if rec is None:
+            return None
+        return InjectionResult(
+            task=task,
+            shots=int(rec["shots"]),
+            errors=int(rec["errors"]),
+            raw_errors=int(rec["raw_errors"]),
+            corrections_applied=int(rec["corrections"]),
+            swap_count=int(rec.get("swap_count", 0)),
+            elapsed_s=float(rec.get("elapsed_s", 0.0)),
+            chunks=int(rec.get("chunks", 1)),
+        )
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    # -- writing -------------------------------------------------------
+    def _append(self, rec: Dict[str, object]) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(rec, sort_keys=True, default=str) + "\n")
+        self._fh.flush()
+
+    def append_chunk(self, key: str, chunk: ChunkResult) -> None:
+        rec = {"kind": "chunk", "key": key}
+        rec.update(chunk.to_row())
+        self._append(rec)
+        self._chunks.setdefault(key, []).append(chunk)
+
+    def mark_done(self, key: str, result: InjectionResult) -> None:
+        rec = {
+            "kind": "done", "key": key,
+            "shots": result.shots, "errors": result.errors,
+            "raw_errors": result.raw_errors,
+            "corrections": result.corrections_applied,
+            "swap_count": result.swap_count,
+            "elapsed_s": result.elapsed_s,
+            "chunks": result.chunks,
+            "seed": result.task.seed,
+            "label": result.task.label,
+            "task": canonical_task(result.task),
+        }
+        self._append(rec)
+        self._done[key] = rec
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,142 @@
+"""Declarative sweep specifications → campaigns.
+
+A sweep is the Cartesian product of small axis lists — codes ×
+architectures × faults × intrinsic noise levels — described by a plain
+JSON-able mapping, so campaigns can be launched from the CLI (``repro
+campaign spec.json``), version-controlled next to their results, and
+re-run bit-identically.
+
+Example spec::
+
+    {
+      "codes":  [{"kind": "repetition", "distance": [5, 1]},
+                 {"kind": "xxzz", "distance": [3, 3]}],
+      "archs":  [null, {"name": "mesh", "args": [5, 4]}, "cairo"],
+      "faults": [{"kind": "none"},
+                 {"kind": "radiation", "root_qubit": 2, "time_index": 0}],
+      "p_values": [1e-3, 1e-2],
+      "shots": 4000,
+      "root_seed": 2024,
+      "tags": {"sweep": "demo"}
+    }
+
+Scalar knobs (``rounds``, ``basis``, ``decoder``, ``readout``,
+``layout``) apply to every task.  Each task is tagged with its axis
+coordinates so results group naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Sequence
+
+from .campaign import Campaign
+from .spec import ArchSpec, CodeSpec, FaultSpec, InjectionTask
+
+#: Recognised top-level spec keys (anything else is a typo worth failing
+#: loudly on — a silently ignored axis would corrupt a week-long sweep).
+SPEC_KEYS = frozenset({
+    "codes", "archs", "faults", "p_values", "shots", "rounds", "basis",
+    "decoder", "readout", "layout", "root_seed", "tags",
+})
+
+
+def _code(entry: Any) -> CodeSpec:
+    if isinstance(entry, CodeSpec):
+        return entry
+    if isinstance(entry, Mapping):
+        return CodeSpec(kind=str(entry["kind"]),
+                        distance=tuple(int(d) for d in entry["distance"]))
+    if isinstance(entry, Sequence) and len(entry) == 2:
+        kind, dist = entry
+        return CodeSpec(kind=str(kind), distance=tuple(int(d) for d in dist))
+    raise ValueError(f"cannot parse code spec {entry!r}")
+
+
+def _arch(entry: Any) -> Optional[ArchSpec]:
+    if entry is None or isinstance(entry, ArchSpec):
+        return entry
+    if isinstance(entry, str):
+        return ArchSpec(entry)
+    if isinstance(entry, Mapping):
+        return ArchSpec(name=str(entry["name"]),
+                        args=tuple(int(a) for a in entry.get("args", ())))
+    raise ValueError(f"cannot parse arch spec {entry!r}")
+
+
+def _fault(entry: Any) -> FaultSpec:
+    if isinstance(entry, FaultSpec):
+        return entry
+    if isinstance(entry, Mapping):
+        kwargs = dict(entry)
+        if "qubits" in kwargs:
+            kwargs["qubits"] = tuple(int(q) for q in kwargs["qubits"])
+        return FaultSpec(**kwargs)
+    raise ValueError(f"cannot parse fault spec {entry!r}")
+
+
+def fault_label(fault: FaultSpec) -> str:
+    """Short tag value identifying a fault axis entry."""
+    if fault.kind == "radiation":
+        return f"radiation(q{fault.root_qubit},t{fault.time_index})"
+    if fault.kind == "erasure":
+        return f"erasure({','.join(map(str, fault.qubits))})"
+    return "none"
+
+
+def _axes(spec: Mapping[str, Any]):
+    """Validate + normalize the four product axes (shared by
+    :func:`build_sweep` and :func:`sweep_size`, so the pre-flight count
+    can never disagree with the expansion)."""
+    unknown = set(spec) - SPEC_KEYS
+    if unknown:
+        raise ValueError(f"unknown sweep spec keys: {sorted(unknown)}; "
+                         f"recognised: {sorted(SPEC_KEYS)}")
+    for axis in ("codes", "archs", "faults", "p_values"):
+        if axis in spec and not spec[axis]:
+            raise ValueError(f"sweep spec axis {axis!r} is empty — the "
+                             f"product would be zero points")
+    if "codes" not in spec:
+        raise ValueError("sweep spec needs a non-empty 'codes' axis")
+    codes = [_code(c) for c in spec["codes"]]
+    archs = [_arch(a) for a in spec.get("archs", [None])]
+    faults = [_fault(f) for f in spec.get("faults", [{"kind": "none"}])]
+    p_values = [float(p) for p in spec.get("p_values", [0.01])]
+    return codes, archs, faults, p_values
+
+
+def build_sweep(spec: Mapping[str, Any]) -> Campaign:
+    """Expand a sweep spec into a seeded :class:`Campaign`.
+
+    Task order — and therefore per-task derived seeds — is the
+    deterministic product order codes → archs → faults → p_values.
+    """
+    codes, archs, faults, p_values = _axes(spec)
+    base_tags = {str(k): str(v) for k, v in dict(spec.get("tags", {})).items()}
+
+    common = dict(
+        shots=int(spec.get("shots", 2000)),
+        rounds=int(spec.get("rounds", 2)),
+        basis=str(spec.get("basis", "Z")),
+        decoder=str(spec.get("decoder", "mwpm")),
+        readout=str(spec.get("readout", "ancilla")),
+        layout=str(spec.get("layout", "best")),
+    )
+
+    tasks: List[InjectionTask] = []
+    for code in codes:
+        for arch in archs:
+            for fault in faults:
+                for p in p_values:
+                    task = InjectionTask(code=code, arch=arch, fault=fault,
+                                         intrinsic_p=p, **common)
+                    tasks.append(task.with_tags(
+                        code=code.label,
+                        arch=arch.label if arch else "-",
+                        fault=fault_label(fault), p=p, **base_tags))
+    return Campaign(tasks, root_seed=int(spec.get("root_seed", 2024)))
+
+
+def sweep_size(spec: Mapping[str, Any]) -> int:
+    """Number of points a spec expands to (cheap pre-flight check)."""
+    codes, archs, faults, p_values = _axes(spec)
+    return len(codes) * len(archs) * len(faults) * len(p_values)

@@ -15,7 +15,7 @@ count, capped by the number of tasks.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
@@ -36,7 +36,9 @@ def default_workers() -> int:
 
 def parallel_map(fn: Callable[[T], R], items: Sequence[T],
                  max_workers: Optional[int] = None,
-                 chunksize: int = 1) -> List[R]:
+                 chunksize: int = 1,
+                 on_result: Optional[Callable[[int, R], None]] = None
+                 ) -> List[R]:
     """Map ``fn`` over ``items``, preserving order.
 
     Parameters
@@ -49,20 +51,73 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
         Pool size; ``None`` uses :func:`default_workers`, ``1`` forces
         the serial path.
     chunksize:
-        Items per inter-process message (raise for many tiny tasks).
+        Accepted for backward compatibility; unused since the pool
+        path moved from ``map`` to per-item ``submit`` (campaign tasks
+        are coarse, so message batching never paid for itself).
+    on_result:
+        Optional ``(index, result)`` callback fired in the *calling*
+        process as each item finishes (completion order in the pool
+        path, so a slow point never delays checkpointing the fast ones
+        queued behind it) — the hook campaign checkpointing uses to
+        persist finished points before the whole map completes.
     """
     items = list(items)
     if not items:
         return []
+    results: List[Optional[R]] = [None] * len(items)
+    delivered = [False] * len(items)
+
+    def deliver(index: int, result: R) -> None:
+        # Fired exactly once per item, and *outside* the pool-failure
+        # net below: a raising callback (e.g. a checkpoint write
+        # hitting a full disk) must surface, not masquerade as a
+        # broken pool and trigger a silent re-run.
+        if on_result is not None:
+            on_result(index, result)
+        results[index] = result
+        delivered[index] = True
+
+    #: Pool unavailable (sandbox, pickling, resource limits): degrade
+    #: gracefully to the serial path rather than losing the campaign.
+    pool_errors = (OSError, ValueError, AttributeError, ImportError,
+                   BrokenProcessPool)
     workers = default_workers() if max_workers is None else max(1, max_workers)
     workers = min(workers, len(items))
-    if workers == 1:
-        return [fn(item) for item in items]
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
-    except (OSError, ValueError, AttributeError, ImportError,
-            BrokenProcessPool):
-        # Pool unavailable (sandbox, pickling, resource limits): degrade
-        # gracefully to the serial path rather than losing the campaign.
-        return [fn(item) for item in items]
+    if workers > 1:
+        pool = None
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except pool_errors:
+            pass
+        if pool is not None:
+            with pool:
+                # submit() rather than map(): on failure the pending
+                # futures can be cancelled individually (the documented
+                # safe path — shutdown(cancel_futures=True) can
+                # deadlock against a feeder thread killed by a
+                # pickling error), so the pool doesn't grind through a
+                # doomed queue whose results would be discarded.
+                futures = {pool.submit(fn, item): i
+                           for i, item in enumerate(items)}
+                try:
+                    for future in as_completed(futures):
+                        try:
+                            result = future.result()
+                        except pool_errors:
+                            for pending in futures:
+                                pending.cancel()
+                            break
+                        deliver(futures[future], result)
+                except BaseException:
+                    # deliver() failed: stop feeding the pool before
+                    # the error unwinds through the executor shutdown.
+                    for pending in futures:
+                        pending.cancel()
+                    raise
+    # Serial path — and whatever a pool that died part-way did not
+    # deliver: delivered items are never re-run (their side effects,
+    # like store checkpoints, happened exactly once).
+    for i, item in enumerate(items):
+        if not delivered[i]:
+            deliver(i, fn(item))
+    return results

@@ -29,8 +29,30 @@ def spawn_seeds(root_seed: int, count: int) -> List[int]:
             for s in ss.spawn(count)]
 
 
+def derive_seed(base_seed: int, *path: int) -> int:
+    """Derive a child seed from ``base_seed`` along an integer path.
+
+    Uses ``SeedSequence`` spawn keys, so children are statistically
+    independent of each other and of the base stream, and the value
+    depends only on ``(base_seed, path)`` — never on how many siblings
+    exist or in which order they are derived.
+    """
+    ss = np.random.SeedSequence(entropy=int(base_seed),
+                                spawn_key=tuple(int(p) for p in path))
+    return int(ss.generate_state(1, dtype=np.uint64)[0])
+
+
 def task_seed(root_seed: int, task_index: int) -> int:
     """Stable per-task seed (independent of how many tasks exist)."""
-    ss = np.random.SeedSequence(entropy=root_seed,
-                                spawn_key=(int(task_index),))
-    return int(ss.generate_state(1, dtype=np.uint64)[0])
+    return derive_seed(root_seed, task_index)
+
+
+def block_seed(task_seed_: int, block_index: int) -> int:
+    """Seed for one fixed-size simulation block of a chunked task.
+
+    Chunked execution partitions a task's shots into canonical blocks;
+    each block owns an independent stream derived from the task seed,
+    so results are identical however the blocks are grouped into
+    chunks, scheduled, or resumed.
+    """
+    return derive_seed(task_seed_, block_index)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (cheap figures only)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -11,6 +13,24 @@ class TestCli:
         out = capsys.readouterr().out
         assert "injection_prob" in out
         assert "ablation" in out
+
+    def test_sibling_csv_ignores_directory_dots(self):
+        from repro.cli import _sibling_csv
+
+        assert _sibling_csv("out.csv", "ablation") == "out.ablation.csv"
+        assert _sibling_csv("run.d/fig3", "ablation") == "run.d/fig3.ablation"
+        assert _sibling_csv("run.d/fig3.csv", "ablation") \
+            == "run.d/fig3.ablation.csv"
+
+    def test_fig3_csv_honored(self, capsys, tmp_path):
+        """--csv must not be silently dropped for fig3 (regression):
+        the sample table lands in the requested file, the ablation in a
+        sibling instead of clobbering it."""
+        csv_path = tmp_path / "fig3.csv"
+        assert main(["fig3", "--csv", str(csv_path)]) == 0
+        assert "injection_prob" in csv_path.read_text()
+        ablation = tmp_path / "fig3.ablation.csv"
+        assert "mean_abs_error" in ablation.read_text()
 
     def test_fig4(self, capsys):
         assert main(["fig4"]) == 0
@@ -31,3 +51,62 @@ class TestCli:
         with pytest.raises(SystemExit) as exc:
             main(["--help"])
         assert exc.value.code == 0
+
+
+class TestCampaignCommand:
+    SPEC = {
+        "codes": [["repetition", [3, 1]]],
+        "p_values": [0.05],
+        "shots": 600,
+        "root_seed": 21,
+    }
+
+    def write_spec(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_runs_spec(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path)
+        csv_path = tmp_path / "out.csv"
+        assert main(["campaign", spec, "--workers", "1",
+                     "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 points, 600 shots" in out
+        assert "ler" in csv_path.read_text()
+
+    def test_store_resume(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        assert main(["campaign", spec, "--workers", "1",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["campaign", spec, "--workers", "1",
+                     "--store", store]) == 0
+        assert "1 already complete" in capsys.readouterr().out
+
+    def test_adaptive_reports_savings(self, capsys, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({**self.SPEC, "shots": 8192}))
+        assert main(["campaign", str(path), "--workers", "1",
+                     "--adaptive", "0.3"]) == 0
+        assert "saved by early stopping" in capsys.readouterr().out
+
+    def test_shots_override(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path)
+        assert main(["campaign", spec, "--workers", "1",
+                     "--shots", "512"]) == 0
+        assert "512 shots" in capsys.readouterr().out
+
+    def test_missing_spec_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["campaign", str(tmp_path / "nope.json")])
+
+    def test_adaptive_knobs_require_adaptive(self, tmp_path):
+        """--min/--max-shots without --adaptive would be silently
+        ignored; fail loudly instead."""
+        spec = self.write_spec(tmp_path)
+        with pytest.raises(SystemExit, match="--adaptive"):
+            main(["campaign", spec, "--max-shots", "1000"])
+        with pytest.raises(SystemExit, match="--adaptive"):
+            main(["campaign", spec, "--min-shots", "64"])

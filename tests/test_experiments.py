@@ -89,6 +89,7 @@ class TestFig4:
         assert len(data.to_rows()) == 25
 
 
+@pytest.mark.slow
 class TestFig5Small:
     @pytest.fixture(scope="class")
     def landscapes(self):
@@ -119,6 +120,7 @@ class TestFig5Small:
         assert len(ls.to_rows()) == 20
 
 
+@pytest.mark.slow
 class TestFig6Small:
     def test_rows_structure(self):
         rows = fig6_distance.run(shots=60, max_workers=4, max_roots=2)
@@ -134,6 +136,7 @@ class TestFig6Small:
         assert len(adv) == 2
 
 
+@pytest.mark.slow
 class TestFig7Small:
     def test_spread_data(self):
         configs = ((CodeSpec("repetition", (5, 1)), (1, 3, 6)),)
@@ -157,6 +160,7 @@ class TestFig7Small:
         assert fig7_spread.equivalent_erasures(d) is None
 
 
+@pytest.mark.slow
 class TestFig8Small:
     @pytest.fixture(scope="class")
     def arch_data(self):
@@ -182,6 +186,7 @@ class TestFig8Small:
         assert set(row) >= {"code", "arch", "swaps", "median_ler"}
 
 
+@pytest.mark.slow
 class TestHeadlineChecks:
     def test_observation_1_synthetic(self):
         ls = Landscape("c", np.array([1e-8, 1e-1]), np.arange(10),

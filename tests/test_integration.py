@@ -37,6 +37,8 @@ def transpiled_experiment(code, arch):
     return dataclasses.replace(exp, circuit=routed.circuit), routed
 
 
+@pytest.mark.integration
+@pytest.mark.slow
 class TestPaperProtocol:
     def test_low_noise_low_error(self):
         """Below ~1e-3, the decoded LER must be far below 1% (the
@@ -111,6 +113,8 @@ class TestPaperProtocol:
         assert rates[(3, 1)] < rates[(1, 3)]
 
 
+@pytest.mark.integration
+@pytest.mark.slow
 class TestCampaignIntegration:
     def test_mini_campaign_round_trip(self):
         tasks = [
@@ -145,6 +149,7 @@ class TestCampaignIntegration:
         assert mwpm.logical_error_rate <= uf.logical_error_rate + 0.05
 
 
+@pytest.mark.integration
 class TestDualBasisMemory:
     def test_phase_flip_code_protects_x_memory(self):
         """The dual experiment: X-basis memory with XX checks corrects

@@ -63,6 +63,39 @@ class TestParallelMap:
         out = parallel_map(lambda x: x + 1, [1, 2], max_workers=2)
         assert out == [2, 3]
 
+    def test_on_result_fires_exactly_once_per_item(self):
+        # Pool path delivers in *completion* order (fast items are
+        # checkpointed while slow ones still run), so assert exactly-
+        # once with correct (index, result) pairing, not sequence.
+        seen = []
+        out = parallel_map(square, list(range(8)), max_workers=4,
+                           on_result=lambda i, r: seen.append((i, r)))
+        assert sorted(seen) == list(enumerate(out))
+
+    def test_on_result_serial_order(self):
+        seen = []
+        out = parallel_map(square, [3, 1, 2], max_workers=1,
+                           on_result=lambda i, r: seen.append((i, r)))
+        assert seen == list(enumerate(out))
+
+    def test_on_result_fires_once_despite_pool_fallback(self):
+        # Unpicklable fn => the pool dies and the serial path finishes
+        # the job; the callback must not re-fire for delivered items
+        # (it drives store checkpoints, which must append exactly once).
+        seen = []
+        parallel_map(lambda x: x + 1, [1, 2, 3], max_workers=2,
+                     on_result=lambda i, r: seen.append(i))
+        assert seen == [0, 1, 2]
+
+    def test_on_result_exception_propagates(self):
+        # A failing checkpoint write must surface, not be mistaken for
+        # a broken pool and trigger a silent serial re-run.
+        def boom(i, r):
+            raise OSError("disk full")
+
+        with pytest.raises(OSError, match="disk full"):
+            parallel_map(square, [1, 2], max_workers=1, on_result=boom)
+
     def test_default_workers_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "3")
         assert default_workers() == 3
