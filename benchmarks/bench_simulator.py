@@ -31,6 +31,7 @@ def random_circuit():
 
 def test_batch_memory_circuit(benchmark, xxzz_circuit):
     """Throughput: 1024 noiseless shots of the xxzz-(3,3) memory."""
+    benchmark.extra_info["shots"] = BATCH
 
     def run():
         return BatchTableauSimulator(xxzz_circuit.num_qubits, BATCH,
@@ -42,6 +43,7 @@ def test_batch_memory_circuit(benchmark, xxzz_circuit):
 
 def test_batch_random_clifford(benchmark, random_circuit):
     """Throughput: 1024 shots of a 24-qubit 400-gate random circuit."""
+    benchmark.extra_info["shots"] = BATCH
 
     def run():
         return BatchTableauSimulator(24, BATCH, rng=2).run(random_circuit)
@@ -81,11 +83,15 @@ def test_batch_vs_single_speedup(benchmark, xxzz_circuit, capsys):
 
 
 def test_noisy_execution(benchmark, xxzz_circuit):
-    """Noisy batch execution (depolarizing p=1%), the campaign inner loop."""
+    """Noisy batch-tableau execution (depolarizing p=1%) — the campaign
+    inner loop before the frame backend (bench_frames.py covers the
+    successor); pinned to the tableau backend on purpose."""
     noise = NoiseModel([DepolarizingNoise(0.01)])
+    benchmark.extra_info["shots"] = 512
 
     def run():
-        return run_batch_noisy(xxzz_circuit, noise, 512, rng=5)
+        return run_batch_noisy(xxzz_circuit, noise, 512, rng=5,
+                               backend="tableau")
 
     benchmark(run)
 
@@ -94,6 +100,7 @@ def test_measurement_heavy_circuit(benchmark):
     """Stress the vectorized measurement path (random + deterministic)."""
     circ = random_clifford_circuit(16, 300, rng=9, measure_prob=0.3,
                                    reset_prob=0.1)
+    benchmark.extra_info["shots"] = 512
 
     def run():
         return BatchTableauSimulator(16, 512, rng=4).run(circ)

@@ -4,14 +4,29 @@ Figure benchmarks regenerate each paper figure's data series at reduced
 shot counts (statistics scale with shots; the series *shape* is already
 visible at bench scale) and print the same rows the paper reports.
 Full-scale numbers live in EXPERIMENTS.md / results/.
+
+``--bench-json PATH`` dumps a machine-readable summary of every
+benchmark that ran — wall time, rounds, and shots/second for
+benchmarks that declare ``extra_info["shots"]`` — so the performance
+trajectory can be tracked across commits (CI uploads the bench-smoke
+job's file as an artifact, named ``BENCH_*.json`` when archived).
 """
 
+import json
 import os
+import platform
+import sys
 
 import pytest
 
 # Keep worker pools modest under the benchmark runner.
 os.environ.setdefault("REPRO_WORKERS", "8")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", action="store", default=None, metavar="PATH",
+        help="write per-benchmark wall-time / shots-per-second JSON here")
 
 
 def pytest_configure(config):
@@ -23,3 +38,44 @@ def pytest_configure(config):
 def bench_shots():
     """Shots per configuration point at bench scale."""
     return 200
+
+
+def _bench_row(bench):
+    """One JSON row per benchmark; defensive — a malformed stats object
+    (e.g. under ``--benchmark-disable``) must not break the session."""
+    try:
+        data = bench.as_dict(include_data=False)
+    except Exception:
+        return None
+    stats = data.get("stats") or {}
+    row = {
+        "name": data.get("name"),
+        "fullname": data.get("fullname"),
+        "group": data.get("group"),
+        "mean_s": stats.get("mean"),
+        "min_s": stats.get("min"),
+        "stddev_s": stats.get("stddev"),
+        "rounds": stats.get("rounds"),
+        "extra_info": data.get("extra_info") or {},
+    }
+    shots = row["extra_info"].get("shots")
+    if shots and row["min_s"]:
+        row["shots_per_s"] = shots / row["min_s"]
+    return row
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("bench_json")
+    if not path:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None) or []
+    rows = [r for r in map(_bench_row, benchmarks) if r is not None]
+    payload = {
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "benchmarks": rows,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+        fh.write("\n")

@@ -8,6 +8,8 @@ Usage::
     repro fig6 --workers 8 --csv out.csv
     repro fig5 --store fig5.jsonl   # checkpoint / resume the sweep
     repro campaign spec.json --store sweep.jsonl --adaptive 0.2
+    repro fig6 --backend tableau    # pin the batched-tableau backend
+    repro store merge all.jsonl hostA.jsonl hostB.jsonl
 
 ``repro campaign`` runs an arbitrary sweep described by a JSON spec
 (codes × architectures × faults × noise levels — see
@@ -69,6 +71,7 @@ def _engine_kwargs(args) -> dict:
         "store": getattr(args, "store", None),
         "adaptive": _policy(args),
         "chunk_shots": getattr(args, "chunk_shots", None),
+        "backend": getattr(args, "backend", None),
     }
 
 
@@ -186,13 +189,14 @@ def cmd_campaign(args) -> None:
     campaign = build_sweep(spec)
     policy = _policy(args)
     store = CampaignStore(args.store) if args.store else None
-    banked = campaign.banked(store, adaptive=policy)
+    banked = campaign.banked(store, adaptive=policy, backend=args.backend)
     print(f"campaign: {len(campaign)} points"
           + (f" ({banked} already complete in {args.store})" if store
              else ""))
     results = campaign.run(max_workers=args.workers,
                            chunk_shots=args.chunk_shots,
-                           adaptive=policy, resume=store)
+                           adaptive=policy, resume=store,
+                           backend=args.backend)
     _write(results.to_rows(), args, f"Campaign — {args.spec}")
     ceiling = sum(policy.ceiling(t.shots) if policy else t.shots
                   for t in campaign.tasks)
@@ -208,6 +212,22 @@ def cmd_campaign(args) -> None:
     print(line)
 
 
+def cmd_store(args) -> None:
+    from .injection.store import CampaignStore
+
+    if args.store_command == "merge":
+        stats = CampaignStore.merge(args.out, args.inputs)
+        print(f"merged {stats['inputs']} store(s) into {args.out}: "
+              f"{stats['done']} completed points, {stats['chunks']} chunks"
+              f" ({stats['duplicate_done']} duplicate points, "
+              f"{stats['duplicate_chunks']} duplicate chunks dropped)")
+        conflicts = stats["conflicting_chunks"] + stats["conflicting_done"]
+        if conflicts:
+            print(f"warning: {conflicts} duplicate record(s) disagreed "
+                  f"on counts — shards may come from different code "
+                  f"versions; investigate before trusting the merge")
+
+
 #: Figure subcommands that execute injection campaigns (and therefore
 #: accept the engine flags); fig3/fig4 are analytic.
 CAMPAIGN_FIGURES = ("fig5", "fig6", "fig7", "fig8", "headline")
@@ -221,6 +241,7 @@ COMMANDS = {
     "fig8": cmd_fig8,
     "headline": cmd_headline,
     "campaign": cmd_campaign,
+    "store": cmd_store,
 }
 
 
@@ -237,6 +258,16 @@ def _add_engine_options(sub: argparse.ArgumentParser) -> None:
                      help="adaptive ceiling (default: the task's shots)")
     sub.add_argument("--chunk-shots", type=int, default=None,
                      help="streaming chunk size (checkpoint granularity)")
+    from .frames.backend import BACKENDS
+
+    sub.add_argument("--backend", type=str, default=None,
+                     choices=BACKENDS,
+                     help="simulation backend for every point: 'frames' "
+                          "= bit-packed Pauli-frame sampler (forced; may "
+                          "approximate fault resets as reset-to-mixed), "
+                          "'tableau' = batched CHP tableaus, 'auto' "
+                          "(default) = frames wherever the lowering is "
+                          "exact, tableau elsewhere")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -268,6 +299,19 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--csv", type=str, default=None,
                       help="also write result rows to this CSV file")
     _add_engine_options(camp)
+    store = subs.add_parser(
+        "store", help="manage JSONL campaign stores")
+    store_subs = store.add_subparsers(dest="store_command", required=True,
+                                      metavar="store-command")
+    merge = store_subs.add_parser(
+        "merge", help="merge sharded per-host stores into one "
+                      "resumable store (deduplicating overlaps)")
+    merge.add_argument("out", type=str,
+                       help="merged store path (an existing file is "
+                            "included in the merge and replaced "
+                            "atomically)")
+    merge.add_argument("inputs", type=str, nargs="+", metavar="in",
+                       help="input store shards")
     return parser
 
 

@@ -1,0 +1,46 @@
+"""Bit-packed Pauli-frame sampling backend.
+
+The fast path for fault-injection campaigns: one noiseless reference
+run of the memory circuit plus per-shot Pauli-frame propagation with 64
+shots packed per ``uint64`` word.
+
+* :func:`compile_frame_program` — reference pass + noise lowering.
+* :class:`FrameSimulator` — bit-packed frame propagation.
+* :func:`run_batch_frames` — drop-in counterpart of
+  :func:`repro.noise.executor.run_batch_noisy`.
+* :func:`supports_noise` — can a noise model be lowered?
+* :exc:`FrameLoweringError` — raised when it cannot; callers fall back
+  to the batched tableau backend.
+"""
+
+from .backend import BACKENDS, run_batch_frames, validate_backend
+from .packing import (
+    bernoulli_words,
+    pack_bool,
+    random_words,
+    unpack_words,
+    words_for,
+)
+from .program import (
+    FrameLoweringError,
+    FrameProgram,
+    compile_frame_program,
+    supports_noise,
+)
+from .simulator import FrameSimulator
+
+__all__ = [
+    "BACKENDS",
+    "FrameLoweringError",
+    "FrameProgram",
+    "FrameSimulator",
+    "bernoulli_words",
+    "compile_frame_program",
+    "pack_bool",
+    "random_words",
+    "run_batch_frames",
+    "supports_noise",
+    "unpack_words",
+    "validate_backend",
+    "words_for",
+]

@@ -1,0 +1,83 @@
+"""Bit-packing primitives for the Pauli-frame backend.
+
+Frames hold one bit per shot, 64 shots per ``uint64`` word: shot ``j``
+lives in word ``j // 64`` at bit ``j % 64`` (little-endian bit order, so
+``numpy.packbits``/``unpackbits`` with ``bitorder="little"`` round-trip
+the layout exactly).  All frame algebra is whole-word bitwise ops, so a
+10^4-shot frame row is 157 words — three orders of magnitude smaller
+than the batched tableau's per-qubit slabs.
+
+Bits past ``batch_size`` in the final word are *don't-care*: masks built
+by :func:`pack_bool` leave them zero, random fills leave them random,
+and :func:`unpack_words` drops them via ``count=``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: All-ones uint64 word (avoids repeated Python-int coercion).
+FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+#: Shots per machine word.
+WORD_BITS = 64
+
+
+def words_for(batch_size: int) -> int:
+    """Number of 64-bit words needed for ``batch_size`` shot bits."""
+    if batch_size <= 0:
+        raise ValueError("need at least one shot")
+    return (int(batch_size) + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bool(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(B,)`` boolean/0-1 array into ``(words_for(B),)`` uint64.
+
+    Bits beyond ``B`` in the last word are zero, so packed masks can be
+    AND/OR-combined without contaminating the don't-care tail.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 1:
+        raise ValueError("pack_bool expects a 1-D array")
+    nwords = words_for(bits.size)
+    packed = np.packbits(bits.astype(np.uint8, copy=False),
+                         bitorder="little")
+    if packed.size < nwords * 8:
+        packed = np.pad(packed, (0, nwords * 8 - packed.size))
+    return packed.view(np.uint64)
+
+
+def unpack_words(words: np.ndarray, batch_size: int) -> np.ndarray:
+    """Unpack word rows back to per-shot bits.
+
+    ``words`` is ``(W,)`` or ``(R, W)`` uint64; returns ``(B,)`` or
+    ``(R, B)`` uint8 with the don't-care tail dropped.
+    """
+    words = np.ascontiguousarray(words)
+    if words.ndim == 1:
+        return np.unpackbits(words.view(np.uint8), count=int(batch_size),
+                             bitorder="little")
+    return np.unpackbits(words.view(np.uint8).reshape(words.shape[0], -1),
+                         axis=1, count=int(batch_size), bitorder="little")
+
+
+def random_words(rng: np.random.Generator, nwords: int) -> np.ndarray:
+    """``nwords`` uniformly random uint64 words (one fresh bit per shot)."""
+    return np.frombuffer(rng.bytes(int(nwords) * 8), dtype=np.uint64)
+
+
+def bernoulli_words(rng: np.random.Generator, p: float, batch_size: int
+                    ) -> np.ndarray:
+    """Bit-packed Bernoulli(``p``) mask over ``batch_size`` shots.
+
+    The packed tail past ``batch_size`` is zero, so the mask never
+    selects don't-care bits.
+    """
+    if p >= 1.0:
+        mask = np.full(words_for(batch_size), FULL_WORD, dtype=np.uint64)
+        tail = batch_size % WORD_BITS
+        if tail:
+            mask[-1] = np.uint64((1 << tail) - 1)
+        return mask
+    if p <= 0.0:
+        return np.zeros(words_for(batch_size), dtype=np.uint64)
+    return pack_bool(rng.random(batch_size) < p)

@@ -1,0 +1,237 @@
+"""Reference pass + noise lowering: circuit → frame program.
+
+A :class:`FrameProgram` is the compiled form a
+:class:`~repro.frames.simulator.FrameSimulator` executes: the ideal
+circuit reduced to frame-propagation opcodes, interleaved with
+*lowered* noise sites, plus the reference measurement record the frames
+are XORed against.
+
+The **reference pass** runs the circuit once, noiselessly, through the
+single-shot :class:`~repro.stabilizer.simulator.TableauSimulator`,
+recording every measurement's outcome and whether it took the
+random-outcome CHP branch (some stabilizer anticommutes with the
+measured ``Z``).  Random-branch measurements are still sampled exactly
+by the frame backend — the simulator's Z-frame randomisation at
+initialisation, reset and measurement supplies per-shot randomness with
+the correct cross-measurement correlations — but the flags are kept as
+program metadata: a program with *no* random branches reproduces the
+reference record bit-for-bit on noiseless shots, while any random
+branch makes the record (including later measurements whose CHP branch
+is deterministic but whose value is conditioned on the earlier
+collapse) exact in distribution only.
+
+**Noise lowering** turns the supported channel types into bit-packed
+samplers:
+
+* :class:`~repro.noise.depolarizing.DepolarizingNoise` → per-qubit
+  ``OP_DEPOLARIZE`` sites (exact: Pauli channels commute with frame
+  propagation).
+* :class:`~repro.noise.erasure.ErasureChannel` and
+  :class:`~repro.noise.radiation.RadiationChannel` (the paper's Eqs.
+  5-7 reset faults) → ``OP_RESET_NOISE`` sites with a per-site
+  probability.  At sites where the reference state holds the struck
+  qubit in a definite ``Z`` eigenstate (always true for repetition-code
+  memories, and for ancillas between their reset and re-entanglement)
+  the lowering is *exact*: the fault forces the frame's X component to
+  the reference eigenvalue, mapping the reference state onto |0>.
+  Elsewhere the reset is lowered to a full Pauli twirl of the qubit —
+  a reset to the maximally mixed state, i.e. the paper's reset-to-|0>
+  composed with an extra 50% X flip.  Site counts for both cases are
+  recorded on the program so the approximation is observable.
+
+Any other channel type raises :class:`FrameLoweringError`; callers fall
+back to the batched tableau backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..circuits import Circuit, GateType
+from ..noise.base import NoiseModel
+from ..noise.depolarizing import DepolarizingNoise
+from ..noise.erasure import ErasureChannel
+from ..noise.radiation import RadiationChannel
+from ..stabilizer.simulator import TableauSimulator
+
+#: Frame-propagation opcodes (ints for cheap dispatch).
+OP_H = 0            # (OP_H, qubit)
+OP_S = 1            # (OP_S, qubit) — S and SDG propagate frames identically
+OP_CX = 2           # (OP_CX, control, target)
+OP_CZ = 3           # (OP_CZ, a, b)
+OP_SWAP = 4         # (OP_SWAP, a, b)
+OP_MEASURE = 5      # (OP_MEASURE, qubit, cbit, reference_bit)
+OP_RESET = 6        # (OP_RESET, qubit) — circuit reset (in the reference too)
+OP_DEPOLARIZE = 7   # (OP_DEPOLARIZE, qubit, p)
+OP_RESET_NOISE = 8  # (OP_RESET_NOISE, qubit, p, x_value|None) — fault reset
+
+#: Pauli gate types: they conjugate frames trivially (phases only).
+_FRAME_TRIVIAL = frozenset({GateType.I, GateType.X, GateType.Y, GateType.Z})
+
+#: Channel types the lowering understands.  Exact type match on purpose:
+#: a subclass overriding ``apply_batch`` would be lowered unfaithfully.
+LOWERABLE_CHANNELS = (DepolarizingNoise, ErasureChannel, RadiationChannel)
+
+
+class FrameLoweringError(ValueError):
+    """The circuit/noise pair cannot be lowered to a frame program."""
+
+
+@dataclass
+class FrameProgram:
+    """Compiled frame program: opcodes + reference record + metadata."""
+
+    num_qubits: int
+    num_cbits: int
+    ops: List[Tuple]
+    #: Reference measurement outcomes, indexed by cbit.
+    reference_record: np.ndarray
+    #: cbits whose reference measurement took the random-outcome branch.
+    #: Any entry here demotes the whole record from bit-exact (vs the
+    #: reference, noiselessly) to exact-in-distribution: later
+    #: deterministic measurements may be conditioned on these collapses.
+    random_cbits: Tuple[int, ...] = ()
+    #: Reset-fault sites lowered exactly (reference Z-determinate).
+    exact_reset_sites: int = 0
+    #: Reset-fault sites lowered to a Pauli twirl (reset-to-mixed).
+    twirled_reset_sites: int = 0
+    #: Channels the program lowered (informational).
+    num_channels: int = 0
+
+    @property
+    def deterministic_reference(self) -> bool:
+        """True when every reference measurement was deterministic, so a
+        noiseless frame run reproduces the reference record bit-exactly."""
+        return not self.random_cbits
+
+    @property
+    def exact_noise(self) -> bool:
+        """True when every lowered noise site is distribution-exact."""
+        return self.twirled_reset_sites == 0
+
+    def __repr__(self) -> str:
+        return (f"FrameProgram(n={self.num_qubits}, cbits={self.num_cbits}, "
+                f"ops={len(self.ops)}, random_measures="
+                f"{len(self.random_cbits)}, reset_sites="
+                f"{self.exact_reset_sites}+{self.twirled_reset_sites}t)")
+
+
+def supports_noise(noise: Optional[NoiseModel]) -> bool:
+    """Cheap pre-flight: can every channel be lowered to frame ops?"""
+    if noise is None:
+        return True
+    return all(type(ch) in LOWERABLE_CHANNELS for ch in noise)
+
+
+def _z_determinate(sim: TableauSimulator, qubit: int) -> Optional[int]:
+    """The definite Z value of ``qubit`` in the reference state, or
+    ``None`` when a measurement there would take the random branch."""
+    tab = sim.tableau
+    if tab.x[tab.n:, qubit].any():
+        return None
+    # Deterministic CHP branch: non-destructive, consumes no randomness.
+    return int(tab.measure(qubit, sim.rng))
+
+
+def _lower_channel(channel, gate, sim: TableauSimulator, ops: List[Tuple],
+                   counts: List[int]) -> None:
+    """Append the frame-level ops for one (channel, gate) firing."""
+    if type(channel) is DepolarizingNoise:
+        for q in gate.qubits:
+            if channel.qubits is None or q in channel.qubits:
+                ops.append((OP_DEPOLARIZE, q, channel.p))
+        return
+    if type(channel) is ErasureChannel:
+        sites = [(q, channel.probability) for q in gate.qubits
+                 if q in channel.qubits]
+    elif type(channel) is RadiationChannel:
+        sites = [(q, float(channel.probs[q])) for q in gate.qubits
+                 if q < channel.probs.size and channel.probs[q] > 0.0]
+    else:
+        raise FrameLoweringError(
+            f"noise channel {type(channel).__name__} has no frame lowering")
+    for q, p in sites:
+        value = _z_determinate(sim, q)
+        ops.append((OP_RESET_NOISE, q, p, value))
+        counts[0 if value is not None else 1] += 1
+
+
+def compile_frame_program(circuit: Circuit,
+                          noise: Optional[NoiseModel] = None,
+                          rng: Union[np.random.Generator, int, None] = None
+                          ) -> FrameProgram:
+    """Run the reference pass and lower ``noise`` into a frame program.
+
+    ``rng`` seeds the reference pass's random measurement branches (the
+    compiled program embeds that one reference sample, so the same seed
+    always yields the same program).  Raises :class:`FrameLoweringError`
+    if the circuit uses an unsupported gate or the noise model contains
+    a channel without a frame lowering.
+    """
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+    if noise is not None and not supports_noise(noise):
+        bad = [type(ch).__name__ for ch in noise
+               if type(ch) not in LOWERABLE_CHANNELS]
+        raise FrameLoweringError(
+            f"noise channels without a frame lowering: {bad}")
+
+    sim = TableauSimulator(circuit.num_qubits, rng=rng)
+    num_cbits = max(circuit.num_cbits, 1)
+    ref = np.zeros(num_cbits, dtype=np.uint8)
+    ops: List[Tuple] = []
+    random_cbits: List[int] = []
+    reset_counts = [0, 0]  # [exact, twirled]
+
+    for gate in circuit:
+        gt = gate.gate_type
+        if gt is GateType.BARRIER:
+            continue
+        if gt in _FRAME_TRIVIAL:
+            sim.apply(gate)  # advances the reference; no frame op
+        elif gt is GateType.H:
+            sim.apply(gate)
+            ops.append((OP_H, gate.qubits[0]))
+        elif gt is GateType.S or gt is GateType.SDG:
+            sim.apply(gate)
+            ops.append((OP_S, gate.qubits[0]))
+        elif gt is GateType.CX:
+            sim.apply(gate)
+            ops.append((OP_CX, gate.qubits[0], gate.qubits[1]))
+        elif gt is GateType.CZ:
+            sim.apply(gate)
+            ops.append((OP_CZ, gate.qubits[0], gate.qubits[1]))
+        elif gt is GateType.SWAP:
+            sim.apply(gate)
+            ops.append((OP_SWAP, gate.qubits[0], gate.qubits[1]))
+        elif gt is GateType.RESET:
+            sim.apply(gate)
+            ops.append((OP_RESET, gate.qubits[0]))
+        elif gt is GateType.MEASURE:
+            a = gate.qubits[0]
+            random_branch = bool(sim.tableau.x[sim.tableau.n:, a].any())
+            outcome = sim.apply(gate)
+            ref[gate.cbit] = outcome
+            if random_branch:
+                random_cbits.append(gate.cbit)
+            ops.append((OP_MEASURE, a, gate.cbit, int(outcome)))
+        else:  # pragma: no cover - the IR has no other gate types
+            raise FrameLoweringError(f"unsupported gate type {gt}")
+        if noise is not None:
+            for channel in noise:
+                if channel.triggers_on(gate):
+                    _lower_channel(channel, gate, sim, ops, reset_counts)
+
+    return FrameProgram(
+        num_qubits=circuit.num_qubits,
+        num_cbits=num_cbits,
+        ops=ops,
+        reference_record=ref,
+        random_cbits=tuple(random_cbits),
+        exact_reset_sites=reset_counts[0],
+        twirled_reset_sites=reset_counts[1],
+        num_channels=0 if noise is None else len(noise),
+    )

@@ -1,0 +1,215 @@
+"""Bit-packed Pauli-frame simulator.
+
+Instead of evolving ``B`` full stabilizer tableaus, the frame simulator
+tracks — per shot — only the *Pauli difference* between the noisy run
+and a single noiseless reference run (Gidney, "Stim: a fast stabilizer
+circuit simulator", 2021).  The X and Z frame components of each qubit
+are stored bit-packed across shots (64 shots per ``uint64`` word), so
+every gate, noise sample and measurement is a handful of whole-array
+bitwise ops on ``(num_qubits, ceil(B/64))`` words: memory and work per
+gate shrink from ``O(B * n)`` tableau rows to ``O(B / 64)`` words.
+
+Sampling is exact in distribution for any Clifford+measure+reset
+circuit because the Z frame is drawn uniformly at random at
+initialisation and re-randomised by resets and measurements: a uniform
+Z product stabilises |0...0> (so the state is untouched), but once
+rotated through the circuit it supplies exactly the per-shot randomness
+— with the right cross-measurement correlations — that random-branch
+measurements require.  Deterministic reference measurements are never
+perturbed by it (their ``Z`` commutes with the whole stabilizer group),
+so noiseless records match the reference bit-for-bit.  Noise enters
+through the lowered ops of a :class:`~repro.frames.program.FrameProgram`
+(see that module for exactness notes on reset faults).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .packing import (
+    FULL_WORD,
+    bernoulli_words,
+    pack_bool,
+    random_words,
+    unpack_words,
+    words_for,
+)
+from .program import (
+    OP_CX,
+    OP_CZ,
+    OP_DEPOLARIZE,
+    OP_H,
+    OP_MEASURE,
+    OP_RESET,
+    OP_RESET_NOISE,
+    OP_S,
+    OP_SWAP,
+    FrameProgram,
+)
+
+
+class FrameSimulator:
+    """X/Z Pauli frames for ``batch_size`` shots, bit-packed in uint64.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width ``n``.
+    batch_size:
+        Number of shots ``B`` (64 per word).
+    rng:
+        Generator (or int seed) driving the Z-frame randomisation and
+        every lowered noise sampler.
+    """
+
+    def __init__(self, num_qubits: int, batch_size: int,
+                 rng: Union[np.random.Generator, int, None] = None) -> None:
+        if num_qubits <= 0:
+            raise ValueError("need at least one qubit")
+        n = int(num_qubits)
+        B = int(batch_size)
+        self.n = n
+        self.batch_size = B
+        self.num_words = words_for(B)
+        if rng is None or isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(rng)
+        self.rng = rng
+        self.x = np.zeros((n, self.num_words), dtype=np.uint64)
+        # Uniformly random initial Z frame: stabilises |0...0>, feeds the
+        # random-measurement branches downstream (module docstring).
+        self.z = np.empty((n, self.num_words), dtype=np.uint64)
+        for q in range(n):
+            self.z[q] = random_words(rng, self.num_words)
+
+    # ------------------------------------------------------------------
+    # Frame propagation (conjugation by the ideal Cliffords)
+    # ------------------------------------------------------------------
+    def h(self, a: int) -> None:
+        tmp = self.x[a].copy()
+        self.x[a] = self.z[a]
+        self.z[a] = tmp
+
+    def s(self, a: int) -> None:
+        self.z[a] ^= self.x[a]
+
+    def cx(self, c: int, t: int) -> None:
+        self.x[t] ^= self.x[c]
+        self.z[c] ^= self.z[t]
+
+    def cz(self, a: int, b: int) -> None:
+        self.z[a] ^= self.x[b]
+        self.z[b] ^= self.x[a]
+
+    def swap(self, a: int, b: int) -> None:
+        self.x[[a, b]] = self.x[[b, a]]
+        self.z[[a, b]] = self.z[[b, a]]
+
+    # ------------------------------------------------------------------
+    # Non-unitary ops
+    # ------------------------------------------------------------------
+    def measure(self, a: int, reference_bit: int) -> np.ndarray:
+        """Z-measure ``a``: per-shot outcome words (reference XOR X frame).
+
+        The Z frame of the measured qubit is re-randomised: collapse
+        destroys the phase coherence the old Z component tracked, and
+        the fresh randomness decorrelates later basis-changed
+        measurements exactly as physics does.
+        """
+        out = self.x[a].copy()
+        if reference_bit:
+            out ^= FULL_WORD
+        self.z[a] ^= random_words(self.rng, self.num_words)
+        return out
+
+    def reset(self, a: int) -> None:
+        """Circuit reset (present in the reference run too): both runs
+        land in |0>, so the X difference vanishes and Z is randomised."""
+        self.x[a] = 0
+        self.z[a] = random_words(self.rng, self.num_words)
+
+    # ------------------------------------------------------------------
+    # Lowered noise ops
+    # ------------------------------------------------------------------
+    def depolarize(self, a: int, p: float) -> None:
+        """Per-shot X/Y/Z error with probability ``p/3`` each (Eq. 4)."""
+        u = self.rng.random(self.batch_size)
+        third = p / 3.0
+        mx = pack_bool(u < third)
+        my = pack_bool((u >= third) & (u < 2 * third))
+        mz = pack_bool((u >= 2 * third) & (u < p))
+        self.x[a] ^= mx | my
+        self.z[a] ^= mz | my
+
+    def reset_noise(self, a: int, p: float,
+                    x_value: Optional[int] = None) -> None:
+        """Fault reset of ``a`` on a Bernoulli(``p``) subset of shots.
+
+        ``x_value`` is the reference state's definite Z eigenvalue at
+        this site (exact lowering: the frame maps the reference onto
+        |0>), or ``None`` when the reference is indefinite there — the
+        reset then lowers to a full Pauli twirl (reset to the maximally
+        mixed state; see :mod:`repro.frames.program`).
+        """
+        mask = bernoulli_words(self.rng, p, self.batch_size)
+        if not mask.any():
+            return
+        keep = ~mask
+        if x_value is None:
+            xbits = random_words(self.rng, self.num_words)
+        elif x_value:
+            xbits = np.full(self.num_words, FULL_WORD, dtype=np.uint64)
+        else:
+            xbits = np.zeros(self.num_words, dtype=np.uint64)
+        self.x[a] = (self.x[a] & keep) | (xbits & mask)
+        zbits = random_words(self.rng, self.num_words)
+        self.z[a] = (self.z[a] & keep) | (zbits & mask)
+
+    # ------------------------------------------------------------------
+    # Program execution
+    # ------------------------------------------------------------------
+    def run(self, program: FrameProgram) -> np.ndarray:
+        """Execute a compiled program; returns records ``(B, cbits)``.
+
+        The record layout matches
+        :meth:`repro.stabilizer.batch.BatchTableauSimulator.run` /
+        :func:`repro.noise.executor.run_batch_noisy`, so decoders and
+        experiments consume either backend's output unchanged.
+        """
+        if program.num_qubits > self.n:
+            raise ValueError("program wider than simulator register")
+        record_words = np.zeros((program.num_cbits, self.num_words),
+                                dtype=np.uint64)
+        for op in program.ops:
+            code = op[0]
+            if code == OP_CX:
+                self.cx(op[1], op[2])
+            elif code == OP_H:
+                self.h(op[1])
+            elif code == OP_MEASURE:
+                record_words[op[2]] = self.measure(op[1], op[3])
+            elif code == OP_DEPOLARIZE:
+                self.depolarize(op[1], op[2])
+            elif code == OP_RESET_NOISE:
+                self.reset_noise(op[1], op[2], op[3])
+            elif code == OP_RESET:
+                self.reset(op[1])
+            elif code == OP_CZ:
+                self.cz(op[1], op[2])
+            elif code == OP_S:
+                self.s(op[1])
+            elif code == OP_SWAP:
+                self.swap(op[1], op[2])
+            else:  # pragma: no cover - compiler emits no other opcodes
+                raise NotImplementedError(f"opcode {code}")
+        return np.ascontiguousarray(
+            unpack_words(record_words, self.batch_size).T)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests / debugging)
+    # ------------------------------------------------------------------
+    def frame_bits(self, qubit: int) -> np.ndarray:
+        """``(2, B)`` uint8: the X and Z frame bits of one qubit."""
+        return unpack_words(
+            np.stack([self.x[qubit], self.z[qubit]]), self.batch_size)

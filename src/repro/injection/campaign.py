@@ -37,6 +37,12 @@ from typing import (Callable, Iterable, Iterator, List, Optional, Tuple,
 import numpy as np
 
 from ..codes.base import MemoryExperiment
+from ..frames import (
+    FrameLoweringError,
+    FrameProgram,
+    FrameSimulator,
+    compile_frame_program,
+)
 from ..noise import (
     DepolarizingNoise,
     ErasureChannel,
@@ -47,7 +53,7 @@ from ..noise import (
 from ..decoders import decoder_for
 from ..transpile import transpile
 from ..util.parallel import parallel_map
-from ..util.rng import block_seed, task_seed
+from ..util.rng import block_seed, frame_ref_seed, task_seed
 from .adaptive import AdaptivePolicy
 from .results import SIM_BLOCK, ChunkResult, InjectionResult, ResultSet
 from .spec import ArchSpec, CodeSpec, InjectionTask, build_arch, build_experiment
@@ -106,6 +112,36 @@ def _build_noise(task: InjectionTask, experiment: MemoryExperiment
     return NoiseModel(channels)
 
 
+def _frame_program(task: InjectionTask, experiment: MemoryExperiment,
+                   noise: NoiseModel) -> Optional[FrameProgram]:
+    """Resolve the task's backend: a compiled frame program, or ``None``
+    for the batched-tableau path.
+
+    ``"auto"`` takes the frame path only when the lowering is *exact*
+    (the paper's fault semantics are preserved bit-for-bit in
+    distribution); ``"frames"`` also accepts programs with twirled reset
+    sites — the documented reset-to-mixed approximation — and fails
+    loudly when a channel has no lowering at all.
+
+    The program embeds the reference sample, seeded from the task seed
+    alone (:func:`frame_ref_seed`), so every block, chunk grouping and
+    resume of the task shares one reference — the chunking-invariance
+    contract holds per backend.
+    """
+    if task.backend == "tableau":
+        return None
+    try:
+        program = compile_frame_program(experiment.circuit, noise,
+                                        rng=frame_ref_seed(task.seed))
+    except FrameLoweringError:
+        if task.backend == "frames":
+            raise
+        return None
+    if task.backend == "auto" and not program.exact_noise:
+        return None
+    return program
+
+
 def _normalize_chunk(chunk_shots: Optional[int]) -> int:
     """Round a requested chunk size up to a whole number of blocks."""
     if chunk_shots is None:
@@ -140,6 +176,9 @@ def iter_task_chunks(task: InjectionTask,
         task.code, task.rounds, task.basis, task.arch, task.layout,
         task.decoder, task.readout)
     noise = _build_noise(task, experiment)
+    # Backend resolution happens once per task: the frame program (the
+    # reference pass + lowered noise) is shared by every block below.
+    program = _frame_program(task, experiment, noise)
     pos = start_shot
     while pos < total:
         t0 = time.perf_counter()
@@ -150,8 +189,12 @@ def iter_task_chunks(task: InjectionTask,
             size = min(SIM_BLOCK, end - block)
             rng = np.random.default_rng(
                 block_seed(task.seed, block // SIM_BLOCK))
-            records = run_batch_noisy(experiment.circuit, noise, size,
-                                      rng=rng)
+            if program is not None:
+                records = FrameSimulator(experiment.circuit.num_qubits,
+                                         size, rng=rng).run(program)
+            else:
+                records = run_batch_noisy(experiment.circuit, noise, size,
+                                          rng=rng, backend="tableau")
             decoded = decoder.decode_batch(experiment, records)
             readout = experiment.raw_readout(records)
             errors += decoded.num_errors
@@ -272,29 +315,34 @@ class Campaign:
     def __len__(self) -> int:
         return len(self.tasks)
 
-    def _seeded(self) -> List[InjectionTask]:
+    def _seeded(self, backend: Optional[str] = None) -> List[InjectionTask]:
         out = []
         for i, t in enumerate(self.tasks):
             if t.seed == 0:
                 t = dataclasses.replace(t, seed=task_seed(self.root_seed, i))
+            if backend is not None and t.backend != backend:
+                t = dataclasses.replace(t, backend=backend)
             out.append(t)
         return out
 
     def banked(self, store: Union[CampaignStore, str, None],
-               adaptive: Optional[AdaptivePolicy] = None) -> int:
+               adaptive: Optional[AdaptivePolicy] = None,
+               backend: Optional[str] = None) -> int:
         """How many of *this campaign's* points a resume would skip
         (store files are shared across campaigns, so ``len(store)``
-        over-counts)."""
+        over-counts).  Pass the same ``backend`` override as the run:
+        it participates in the task key."""
         store = CampaignStore.coerce(store)
         if store is None:
             return 0
-        return sum(1 for t in self._seeded()
+        return sum(1 for t in self._seeded(backend)
                    if _reusable(store.result_for(t), adaptive))
 
     def run(self, max_workers: Optional[int] = None,
             chunk_shots: Optional[int] = None,
             adaptive: Optional[AdaptivePolicy] = None,
-            resume: Union[CampaignStore, str, None] = None) -> ResultSet:
+            resume: Union[CampaignStore, str, None] = None,
+            backend: Optional[str] = None) -> ResultSet:
         """Run all tasks; ``max_workers=1`` forces serial execution.
 
         ``resume`` — a :class:`CampaignStore` (or its path): completed
@@ -304,9 +352,11 @@ class Campaign:
         killed campaign picks up where it stopped with identical
         results.  ``adaptive`` applies an early-stopping policy to every
         point (``task.shots`` becomes the ceiling unless the policy
-        carries its own).
+        carries its own).  ``backend`` overrides every task's simulation
+        backend ("auto"/"frames"/"tableau"); since the backend is part
+        of the task identity, stores keep per-backend results distinct.
         """
-        seeded = self._seeded()
+        seeded = self._seeded(backend)
         store = CampaignStore.coerce(resume)
         results: List[Optional[InjectionResult]] = [None] * len(seeded)
         todo: List[int] = []

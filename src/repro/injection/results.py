@@ -120,6 +120,7 @@ class InjectionResult:
             "raw_ler": self.raw_error_rate,
             "swaps": self.swap_count,
             "seed": self.task.seed,
+            "backend": self.task.backend,
         }
         row.update(dict(self.task.tags))
         return row

@@ -21,6 +21,7 @@ from ..codes import (
     XXZZCode,
     build_memory_experiment,
 )
+from ..frames.backend import validate_backend
 
 
 @dataclass(frozen=True)
@@ -116,10 +117,22 @@ class InjectionTask:
     #: (the paper's circuit; late errors stay undetectable); "data"
     #: decodes from the final transversal data measurement instead.
     readout: str = "ancilla"
+    #: Simulation backend: "auto" picks the bit-packed Pauli-frame
+    #: sampler whenever the task's noise model lowers *exactly* (the
+    #: paper's fault semantics preserved in distribution) and falls back
+    #: to the batched tableau otherwise; "frames" forces the frame
+    #: sampler, accepting the reset-to-mixed approximation at fault
+    #: sites where the reference is Z-indefinite; "tableau" pins the
+    #: reference backend.  Part of the task identity (each backend draws
+    #: its own random stream), so it participates in the store key.
+    backend: str = "auto"
     shots: int = 2000
     seed: int = 0
     #: Free-form labels propagated into result rows (e.g. sweep axes).
     tags: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        validate_backend(self.backend)
 
     def with_tags(self, **tags: object) -> "InjectionTask":
         merged = dict(self.tags)

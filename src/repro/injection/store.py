@@ -21,13 +21,15 @@ import dataclasses
 import hashlib
 import json
 import os
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .results import SIM_BLOCK, ChunkResult, InjectionResult
 from .spec import InjectionTask
 
 #: Bump when the canonical task serialization changes shape.
-KEY_VERSION = 1
+#: v2: InjectionTask grew the ``backend`` field (frame sampling PR) —
+#: the backend selects the random stream, so it must shape the key.
+KEY_VERSION = 2
 
 
 def canonical_task(task: InjectionTask) -> Dict[str, object]:
@@ -78,8 +80,10 @@ class CampaignStore:
         return cls(obj)
 
     # -- reading -------------------------------------------------------
-    def _load(self) -> None:
-        with open(self.path, "r", encoding="utf-8") as fh:
+    @staticmethod
+    def _iter_records(path: Union[str, os.PathLike]):
+        """Yield the parseable JSON records of one store file."""
+        with open(path, "r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
@@ -88,12 +92,17 @@ class CampaignStore:
                     rec = json.loads(line)
                 except json.JSONDecodeError:
                     continue  # torn final line from a crash mid-write
-                kind = rec.get("kind")
-                if kind == "chunk":
-                    self._chunks.setdefault(rec["key"], []).append(
-                        ChunkResult.from_row(rec))
-                elif kind == "done":
-                    self._done[rec["key"]] = rec
+                if isinstance(rec, dict):
+                    yield rec
+
+    def _load(self) -> None:
+        for rec in self._iter_records(self.path):
+            kind = rec.get("kind")
+            if kind == "chunk":
+                self._chunks.setdefault(rec["key"], []).append(
+                    ChunkResult.from_row(rec))
+            elif kind == "done":
+                self._done[rec["key"]] = rec
 
     def done_record(self, key: str) -> Optional[Dict[str, object]]:
         return self._done.get(key)
@@ -179,6 +188,98 @@ class CampaignStore:
         }
         self._append(rec)
         self._done[key] = rec
+
+    # -- merging -------------------------------------------------------
+    @classmethod
+    def merge(cls, out_path: Union[str, os.PathLike],
+              in_paths: Sequence[Union[str, os.PathLike]]
+              ) -> Dict[str, int]:
+        """Merge sharded stores into one resumable store at ``out_path``.
+
+        The sharded-campaign workflow: each host runs its slice of a
+        sweep against its own JSONL store, then the shards are merged
+        into a single store any host can resume from.  An existing
+        ``out_path`` is treated as an implicit first input, so merging
+        is incremental; the file is replaced atomically.
+
+        Dedup rules (canonical blocks make true duplicates bit-identical):
+
+        * ``done`` records deduplicate by task key, keeping the record
+          with the most shots (an adaptive early stop never shadows a
+          richer fixed-budget result) — first seen wins ties;
+        * ``chunk`` records deduplicate by ``(key, start)``, first seen
+          wins.
+
+        A duplicate of either kind with *different* counts at the same
+        shot coverage (two shards that somehow diverged, e.g. different
+        code versions) is counted in ``conflicting_chunks`` /
+        ``conflicting_done`` so the operator can investigate instead of
+        silently trusting one shard.  Duplicates covering different
+        spans — the same point resumed under different ``chunk_shots``,
+        or an adaptive stop next to a fixed-budget completion — are
+        consistent data, deduplicated without a conflict flag.
+
+        Returns a stats dict: ``inputs``, ``done``, ``chunks``,
+        ``duplicate_done``, ``duplicate_chunks``, ``conflicting_done``,
+        ``conflicting_chunks``.
+        """
+        out_path = os.fspath(out_path)
+        paths = [os.fspath(p) for p in in_paths]
+        resolved = {os.path.realpath(p) for p in paths}
+        if os.path.exists(out_path) \
+                and os.path.realpath(out_path) not in resolved:
+            paths.insert(0, out_path)
+        for p in paths:
+            if not os.path.exists(p):
+                raise FileNotFoundError(f"store shard not found: {p}")
+
+        done: Dict[str, Dict[str, object]] = {}
+        chunks: Dict[Tuple[str, int], Dict[str, object]] = {}
+        order: List[Tuple[str, object]] = []  # ("chunk", ck) / ("done", key)
+        stats = {"inputs": len(paths), "duplicate_done": 0,
+                 "duplicate_chunks": 0, "conflicting_done": 0,
+                 "conflicting_chunks": 0}
+        count_fields = ("errors", "raw_errors", "corrections")
+        for path in paths:
+            for rec in cls._iter_records(path):
+                kind = rec.get("kind")
+                if kind == "done":
+                    key = rec["key"]
+                    prev = done.get(key)
+                    if prev is None:
+                        done[key] = rec
+                        order.append(("done", key))
+                    else:
+                        stats["duplicate_done"] += 1
+                        if prev.get("shots") == rec.get("shots") and any(
+                                prev.get(f) != rec.get(f)
+                                for f in count_fields):
+                            stats["conflicting_done"] += 1
+                        if int(rec.get("shots", 0)) > int(
+                                prev.get("shots", 0)):
+                            done[key] = rec
+                elif kind == "chunk":
+                    ck = (rec["key"], int(rec["start"]))
+                    prev = chunks.get(ck)
+                    if prev is None:
+                        chunks[ck] = rec
+                        order.append(("chunk", ck))
+                    else:
+                        stats["duplicate_chunks"] += 1
+                        if prev.get("shots") == rec.get("shots") and any(
+                                prev.get(f) != rec.get(f)
+                                for f in count_fields):
+                            stats["conflicting_chunks"] += 1
+        stats["done"] = len(done)
+        stats["chunks"] = len(chunks)
+
+        tmp_path = out_path + ".merge-tmp"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            for kind, ref in order:
+                rec = chunks[ref] if kind == "chunk" else done[ref]
+                fh.write(json.dumps(rec, sort_keys=True, default=str) + "\n")
+        os.replace(tmp_path, out_path)
+        return stats
 
     def close(self) -> None:
         if self._fh is not None:

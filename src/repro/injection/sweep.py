@@ -21,8 +21,8 @@ Example spec::
     }
 
 Scalar knobs (``rounds``, ``basis``, ``decoder``, ``readout``,
-``layout``) apply to every task.  Each task is tagged with its axis
-coordinates so results group naturally.
+``layout``, ``backend``) apply to every task.  Each task is tagged with
+its axis coordinates so results group naturally.
 """
 
 from __future__ import annotations
@@ -36,7 +36,7 @@ from .spec import ArchSpec, CodeSpec, FaultSpec, InjectionTask
 #: loudly on — a silently ignored axis would corrupt a week-long sweep).
 SPEC_KEYS = frozenset({
     "codes", "archs", "faults", "p_values", "shots", "rounds", "basis",
-    "decoder", "readout", "layout", "root_seed", "tags",
+    "decoder", "readout", "layout", "backend", "root_seed", "tags",
 })
 
 
@@ -120,6 +120,7 @@ def build_sweep(spec: Mapping[str, Any]) -> Campaign:
         decoder=str(spec.get("decoder", "mwpm")),
         readout=str(spec.get("readout", "ancilla")),
         layout=str(spec.get("layout", "best")),
+        backend=str(spec.get("backend", "auto")),
     )
 
     tasks: List[InjectionTask] = []

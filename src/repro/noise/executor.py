@@ -1,8 +1,22 @@
 """Noisy circuit execution.
 
-Walks a circuit gate by gate, applying each ideal operation and then
-letting the noise model inject errors.  The batch path is the campaign
-workhorse; the single-shot path exists for tests and debugging.
+Two batched backends share one entry point:
+
+* ``"tableau"`` — walk the circuit gate by gate on the batched CHP
+  tableau simulator, letting the noise model inject errors through the
+  masked gate API.  Exact for anything a channel can express.
+* ``"frames"`` — compile the circuit + noise into a bit-packed
+  Pauli-frame program (:mod:`repro.frames`) and propagate 64 shots per
+  word.  Orders of magnitude faster; requires every channel to have a
+  frame lowering.
+* ``"auto"`` (default) — frames when the lowering is *exact* (every
+  channel lowers, and every fault-reset site hits a reference-Z-
+  determinate qubit), tableau otherwise.  ``"frames"`` additionally
+  accepts programs with twirled reset sites — the documented
+  reset-to-mixed approximation — trading a small bias at high fault
+  intensity for the full speedup.
+
+The single-shot path exists for tests and debugging.
 """
 
 from __future__ import annotations
@@ -19,16 +33,55 @@ from .base import NoiseModel
 
 def run_batch_noisy(circuit: Circuit, noise: Optional[NoiseModel],
                     batch_size: int,
-                    rng: Union[np.random.Generator, int, None] = None
-                    ) -> np.ndarray:
+                    rng: Union[np.random.Generator, int, None] = None,
+                    backend: str = "auto") -> np.ndarray:
     """Run ``batch_size`` noisy shots; returns records ``(B, cbits)``.
 
     Noise channels fire after each gate in model order.  A single RNG
-    drives both measurement randomness and noise sampling so a seed
-    fully determines the run.
+    drives measurement randomness and noise sampling so a seed fully
+    determines the run — *per backend*: the two backends draw different
+    streams, so switching backends changes individual samples while
+    preserving every distribution.  ``backend="frames"`` raises
+    :class:`~repro.frames.FrameLoweringError` when a channel has no
+    frame lowering; ``"auto"`` falls back to the tableau path instead.
     """
+    # Imported lazily: repro.frames consumes this package's channel
+    # types, so a module-level import would be circular.
+    from ..frames import (
+        FrameLoweringError,
+        FrameSimulator,
+        compile_frame_program,
+        supports_noise,
+        validate_backend,
+    )
+
+    validate_backend(backend)
     if isinstance(rng, (int, np.integer)) or rng is None:
         rng = np.random.default_rng(rng)
+    if backend != "tableau" and supports_noise(noise):
+        # Compile against a clone of the caller's stream: if "auto"
+        # discards the program (twirled lowering), the tableau path
+        # below still sees the untouched rng and reproduces a pinned
+        # backend="tableau" run bit-for-bit.  When the frame path *is*
+        # taken, the consumed state is copied back so repeated calls on
+        # one Generator draw fresh samples, as the contract above says.
+        frame_rng = np.random.Generator(type(rng.bit_generator)())
+        frame_rng.bit_generator.state = rng.bit_generator.state
+        try:
+            program = compile_frame_program(circuit, noise, rng=frame_rng)
+        except FrameLoweringError:
+            if backend == "frames":
+                raise
+            program = None  # auto: anything uncompilable takes tableau
+        if program is not None and (backend == "frames"
+                                    or program.exact_noise):
+            records = FrameSimulator(circuit.num_qubits, batch_size,
+                                     rng=frame_rng).run(program)
+            rng.bit_generator.state = frame_rng.bit_generator.state
+            return records
+    elif backend == "frames":
+        raise FrameLoweringError(
+            "noise model has channels without a frame lowering")
     sim = BatchTableauSimulator(circuit.num_qubits, batch_size, rng=rng)
     record = np.zeros((batch_size, max(circuit.num_cbits, 1)), dtype=np.uint8)
     for gate in circuit:

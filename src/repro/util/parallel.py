@@ -97,8 +97,18 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
                 # deadlock against a feeder thread killed by a
                 # pickling error), so the pool doesn't grind through a
                 # doomed queue whose results would be discarded.
-                futures = {pool.submit(fn, item): i
-                           for i, item in enumerate(items)}
+                futures = {}
+                try:
+                    for i, item in enumerate(items):
+                        futures[pool.submit(fn, item)] = i
+                except pool_errors:
+                    # Pool died while the queue was still being fed
+                    # (e.g. a worker OOM-killed mid-submission): keep
+                    # the futures submitted so far — the drain below
+                    # salvages any that completed, the broken ones trip
+                    # the same net, and the serial path re-runs the
+                    # rest — instead of letting the error escape.
+                    pass
                 try:
                     for future in as_completed(futures):
                         try:

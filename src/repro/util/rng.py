@@ -56,3 +56,15 @@ def block_seed(task_seed_: int, block_index: int) -> int:
     chunks, scheduled, or resumed.
     """
     return derive_seed(task_seed_, block_index)
+
+
+def frame_ref_seed(task_seed_: int) -> int:
+    """Seed for a task's frame-backend reference pass.
+
+    Uses a two-element spawn path so it can never collide with any
+    single-index :func:`block_seed` stream, however deep a campaign's
+    block counter runs.  Compiled once per task, the reference sample —
+    and therefore every block's frame stream — is fixed by the task
+    seed alone, preserving the chunking-invariance contract.
+    """
+    return derive_seed(task_seed_, 1, 0)

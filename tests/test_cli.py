@@ -110,3 +110,58 @@ class TestCampaignCommand:
             main(["campaign", spec, "--max-shots", "1000"])
         with pytest.raises(SystemExit, match="--adaptive"):
             main(["campaign", spec, "--min-shots", "64"])
+
+    def test_backend_flag(self, capsys, tmp_path):
+        """--backend pins every point's backend and lands in the rows."""
+        spec = self.write_spec(tmp_path)
+        csv_path = tmp_path / "out.csv"
+        assert main(["campaign", spec, "--workers", "1",
+                     "--backend", "frames", "--csv", str(csv_path)]) == 0
+        assert "frames" in csv_path.read_text()
+        with pytest.raises(SystemExit):
+            main(["campaign", spec, "--backend", "gpu"])
+
+    def test_backend_keeps_store_results_distinct(self, capsys, tmp_path):
+        """Per-backend streams differ, so a store banked under one
+        backend must not be reused by another."""
+        spec = self.write_spec(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        assert main(["campaign", spec, "--workers", "1", "--store", store,
+                     "--backend", "frames"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", spec, "--workers", "1", "--store", store,
+                     "--backend", "tableau"]) == 0
+        assert "0 already complete" in capsys.readouterr().out
+        assert main(["campaign", spec, "--workers", "1", "--store", store,
+                     "--backend", "frames"]) == 0
+        assert "1 already complete" in capsys.readouterr().out
+
+
+class TestStoreCommand:
+    SPEC = TestCampaignCommand.SPEC
+
+    def run_shard(self, tmp_path, name, shots):
+        spec_path = tmp_path / f"spec-{name}.json"
+        spec_path.write_text(json.dumps({**self.SPEC, "shots": shots}))
+        store = str(tmp_path / name)
+        assert main(["campaign", str(spec_path), "--workers", "1",
+                     "--store", store]) == 0
+        return store
+
+    def test_merge_subcommand(self, capsys, tmp_path):
+        a = self.run_shard(tmp_path, "a.jsonl", 512)
+        b = self.run_shard(tmp_path, "b.jsonl", 1024)
+        capsys.readouterr()
+        out = str(tmp_path / "merged.jsonl")
+        assert main(["store", "merge", out, a, b]) == 0
+        msg = capsys.readouterr().out
+        assert "merged 2 store(s)" in msg
+        assert "2 completed points" in msg
+
+    def test_merge_requires_inputs(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["store", "merge", str(tmp_path / "out.jsonl")])
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["store"])

@@ -1,0 +1,541 @@
+"""Tests for the bit-packed Pauli-frame backend (``repro.frames``).
+
+Three layers:
+
+* packing / simulator mechanics,
+* exactness against the tableau backends — bit-for-bit on deterministic
+  reference circuits, in distribution elsewhere,
+* cross-validation at campaign level: seeded frame-backend campaigns on
+  the d=3 and d=5 rotated codes must reproduce the tableau backend's
+  logical error rates within overlapping 95% Wilson intervals.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.codes import RepetitionCode, XXZZCode, build_memory_experiment
+from repro.decoders import decoder_for
+from repro.frames import (
+    FrameLoweringError,
+    FrameSimulator,
+    bernoulli_words,
+    compile_frame_program,
+    pack_bool,
+    random_words,
+    run_batch_frames,
+    supports_noise,
+    unpack_words,
+    words_for,
+)
+from repro.injection import (
+    SIM_BLOCK,
+    Campaign,
+    CampaignStore,
+    CodeSpec,
+    FaultSpec,
+    InjectionTask,
+    build_sweep,
+    iter_task_chunks,
+    run_task,
+    task_key,
+)
+from repro.injection.results import wilson_interval
+from repro.noise import (
+    DepolarizingNoise,
+    ErasureChannel,
+    NoiseModel,
+    RadiationChannel,
+    run_batch_noisy,
+)
+from repro.noise.base import NoiseChannel
+from repro.stabilizer import BatchTableauSimulator
+
+
+def wilson_overlap(a_errors, a_shots, b_errors, b_shots) -> bool:
+    """Do two 95% Wilson intervals overlap?"""
+    alo, ahi = wilson_interval(a_errors, a_shots)
+    blo, bhi = wilson_interval(b_errors, b_shots)
+    return alo <= bhi and blo <= ahi
+
+
+class TestPacking:
+    @pytest.mark.parametrize("B", [1, 7, 63, 64, 65, 200, 512])
+    def test_roundtrip(self, B):
+        rng = np.random.default_rng(B)
+        bits = rng.integers(0, 2, size=B).astype(bool)
+        words = pack_bool(bits)
+        assert words.shape == (words_for(B),)
+        assert np.array_equal(unpack_words(words, B), bits.astype(np.uint8))
+
+    def test_packed_tail_is_zero(self):
+        words = pack_bool(np.ones(70, dtype=bool))
+        # Word 1 holds shots 64..69; bits 6..63 must be clear.
+        assert int(words[1]) == (1 << 6) - 1
+
+    def test_bernoulli_edge_probabilities(self):
+        rng = np.random.default_rng(0)
+        full = bernoulli_words(rng, 1.0, 70)
+        assert int(full[0]) == (1 << 64) - 1
+        assert int(full[1]) == (1 << 6) - 1      # no don't-care bits
+        assert not bernoulli_words(rng, 0.0, 70).any()
+
+    def test_bernoulli_statistics(self):
+        rng = np.random.default_rng(1)
+        mask = bernoulli_words(rng, 0.3, 20_000)
+        assert unpack_words(mask, 20_000).mean() == pytest.approx(0.3,
+                                                                  abs=0.02)
+
+    def test_random_words_length_and_determinism(self):
+        a = random_words(np.random.default_rng(5), 4)
+        b = random_words(np.random.default_rng(5), 4)
+        assert a.shape == (4,)
+        assert np.array_equal(a, b)
+
+    def test_rows_roundtrip_2d(self):
+        rng = np.random.default_rng(9)
+        bits = rng.integers(0, 2, size=(3, 130)).astype(np.uint8)
+        words = np.stack([pack_bool(row) for row in bits])
+        assert np.array_equal(unpack_words(words, 130), bits)
+
+
+class TestNoiselessExactness:
+    def test_repetition_memory_bit_exact(self):
+        """Fully deterministic reference: the frame record equals both
+        the reference sample and the batch-tableau record bit-for-bit."""
+        exp = build_memory_experiment(RepetitionCode(5))
+        program = compile_frame_program(exp.circuit, None, rng=1)
+        assert program.deterministic_reference
+        rec_frames = run_batch_frames(exp.circuit, None, 300, rng=2)
+        rec_tableau = BatchTableauSimulator(
+            exp.circuit.num_qubits, 300, rng=3).run(exp.circuit)
+        assert np.array_equal(rec_frames, rec_tableau)
+        assert np.array_equal(
+            rec_frames, np.tile(program.reference_record, (300, 1)))
+
+    def test_xxzz_memory_random_branches_flagged(self):
+        exp = build_memory_experiment(XXZZCode(3, 3))
+        program = compile_frame_program(exp.circuit, None, rng=1)
+        assert not program.deterministic_reference
+        # Round-1 X syndromes are indefinite on |0...0>.
+        assert set(exp.x_syndrome_cbits[0]) <= set(program.random_cbits)
+
+    def test_xxzz_memory_syndrome_correlations(self):
+        """Random first-round X syndromes must repeat identically in
+        round 2 (noiseless), be ~uniform across shots, and decode to
+        zero logical errors — the frame Z-randomisation at work."""
+        exp = build_memory_experiment(XXZZCode(3, 3))
+        rec = run_batch_frames(exp.circuit, None, 600, rng=5)
+        xs = np.asarray(exp.x_syndrome_cbits)
+        assert np.array_equal(rec[:, xs[0]], rec[:, xs[1]])
+        means = rec[:, xs[0]].mean(axis=0)
+        assert np.all(np.abs(means - 0.5) < 0.08)
+        decoder = decoder_for(exp)
+        assert decoder.decode_batch(exp, rec).num_errors == 0
+
+    def test_plus_state_measurement_uniform(self):
+        circ = Circuit(1).h(0).measure(0, 0)
+        rec = run_batch_frames(circ, None, 20_000, rng=6)
+        assert rec[:, 0].mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_repeated_measurement_perfectly_correlated(self):
+        circ = Circuit(1).h(0).measure(0, 0).measure(0, 1)
+        rec = run_batch_frames(circ, None, 4096, rng=7)
+        assert np.array_equal(rec[:, 0], rec[:, 1])
+
+    def test_measurement_recollapse_independent(self):
+        """H, M, H, M: the second outcome is uniform and independent of
+        the first — measurement must re-randomise the Z frame."""
+        circ = Circuit(1).h(0).measure(0, 0).h(0).measure(0, 1)
+        rec = run_batch_frames(circ, None, 20_000, rng=8)
+        a = rec[:, 0].astype(float)
+        b = rec[:, 1].astype(float)
+        assert b.mean() == pytest.approx(0.5, abs=0.02)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.03
+
+    def test_circuit_reset_bit_exact(self):
+        circ = Circuit(1).x(0).reset(0).measure(0, 0)
+        rec = run_batch_frames(circ, None, 500, rng=9)
+        assert not rec[:, 0].any()
+
+    def test_reset_after_superposition_uniformises_next_basis(self):
+        """|+> reset to |0|: a following H+measure is uniform again."""
+        circ = Circuit(1).h(0).reset(0).h(0).measure(0, 0)
+        rec = run_batch_frames(circ, None, 20_000, rng=10)
+        assert rec[:, 0].mean() == pytest.approx(0.5, abs=0.02)
+
+
+class TestNoiseLowering:
+    def test_depolarizing_statistics(self):
+        """Single gate at p flips the Z outcome with prob 2p/3."""
+        p = 0.3
+        circ = Circuit(1).x(0).measure(0, 0)
+        noise = NoiseModel([DepolarizingNoise(p)])
+        rec = run_batch_frames(circ, noise, 20_000, rng=11)
+        assert np.mean(rec[:, 0] == 0) == pytest.approx(2 * p / 3, abs=0.02)
+
+    def test_erasure_full_probability_pins_qubit(self):
+        circ = Circuit(1).x(0).measure(0, 0)
+        noise = NoiseModel([ErasureChannel([0], 1.0)])
+        program = compile_frame_program(circ, noise, rng=1)
+        assert program.exact_noise       # |1> is Z-determinate
+        rec = run_batch_frames(circ, noise, 400, rng=12)
+        assert (rec[:, 0] == 0).all()
+
+    def test_radiation_full_intensity_resets_state(self):
+        circ = Circuit(1).x(0).measure(0, 0)
+        noise = NoiseModel([RadiationChannel([1.0])])
+        rec = run_batch_frames(circ, noise, 400, rng=13)
+        assert (rec[:, 0] == 0).all()
+
+    def test_twirl_sites_detected_on_entangled_targets(self):
+        """A reset fault aimed at half a Bell pair is Z-indefinite in
+        the reference -> twirled lowering, flagged on the program."""
+        circ = Circuit(2).h(0).cx(0, 1).i(1).measure(0, 0).measure(1, 1)
+        noise = NoiseModel([ErasureChannel([1], 1.0)])
+        program = compile_frame_program(circ, noise, rng=1)
+        assert program.twirled_reset_sites > 0
+        assert not program.exact_noise
+
+    def test_unsupported_channel_raises_and_auto_falls_back(self):
+        class Custom(NoiseChannel):
+            def apply_batch(self, gate, sim, rng):
+                pass
+
+            def apply_single(self, gate, sim, rng):
+                pass
+
+        circ = Circuit(1).x(0).measure(0, 0)
+        noise = NoiseModel([Custom()])
+        assert not supports_noise(noise)
+        with pytest.raises(FrameLoweringError):
+            run_batch_frames(circ, noise, 10, rng=1)
+        with pytest.raises(FrameLoweringError):
+            run_batch_noisy(circ, noise, 10, rng=1, backend="frames")
+        # auto silently falls back to the tableau path
+        rec = run_batch_noisy(circ, noise, 10, rng=1, backend="auto")
+        assert (rec[:, 0] == 1).all()
+
+    def test_subclassed_channel_not_lowered(self):
+        """Exact type match: a subclass may override apply_batch, so it
+        must not be silently lowered as its parent."""
+
+        class Tweaked(DepolarizingNoise):
+            pass
+
+        assert not supports_noise(NoiseModel([Tweaked(0.1)]))
+
+    def test_executor_auto_requires_exact_lowering(self):
+        """backend='auto' keeps the paper's reset semantics: a twirl
+        site sends execution down the tableau path; backend='frames'
+        forces the approximation."""
+        circ = Circuit(2).h(0).cx(0, 1).i(1).measure(0, 0).measure(1, 1)
+        noise = NoiseModel([ErasureChannel([1], 1.0)])
+        rec_auto = run_batch_noisy(circ, noise, 2000, rng=20,
+                                   backend="auto")
+        # tableau semantics: true reset to |0> just before the measure
+        assert (rec_auto[:, 1] == 0).all()
+        rec_frames = run_batch_noisy(circ, noise, 2000, rng=20,
+                                     backend="frames")
+        # twirl semantics: reset to the maximally mixed state
+        assert rec_frames[:, 1].mean() == pytest.approx(0.5, abs=0.04)
+
+    def test_invalid_backend_rejected(self):
+        circ = Circuit(1).measure(0, 0)
+        with pytest.raises(ValueError, match="backend"):
+            run_batch_noisy(circ, None, 8, rng=1, backend="gpu")
+
+    def test_auto_fallback_matches_pinned_tableau_stream(self):
+        """When auto rejects the frame lowering, the discarded compile
+        must not perturb the caller's rng: the records equal a pinned
+        tableau run bit-for-bit."""
+        circ = Circuit(2).h(0).cx(0, 1).i(1).measure(0, 0).measure(1, 1)
+        noise = NoiseModel([ErasureChannel([1], 1.0)])
+        rec_auto = run_batch_noisy(circ, noise, 256, rng=33,
+                                   backend="auto")
+        rec_pinned = run_batch_noisy(circ, noise, 256, rng=33,
+                                     backend="tableau")
+        assert np.array_equal(rec_auto, rec_pinned)
+
+    def test_frames_path_advances_shared_generator(self):
+        """Repeated calls on one Generator must draw fresh samples:
+        the frames path copies its consumed stream state back."""
+        circ = Circuit(1).x(0).measure(0, 0)
+        noise = NoiseModel([DepolarizingNoise(0.2)])
+        rng = np.random.default_rng(0)
+        a = run_batch_noisy(circ, noise, 256, rng=rng)
+        b = run_batch_noisy(circ, noise, 256, rng=rng)
+        assert not np.array_equal(a, b)
+
+    def test_auto_accepts_non_pcg64_generators(self):
+        """The rng clone must work for any BitGenerator, not just the
+        default PCG64."""
+        circ = Circuit(1).x(0).measure(0, 0)
+        noise = NoiseModel([DepolarizingNoise(0.1)])
+        for bitgen in (np.random.Philox(5), np.random.SFC64(5)):
+            rec = run_batch_noisy(circ, noise, 128,
+                                  rng=np.random.Generator(bitgen))
+            assert rec.shape == (128, 1)
+
+
+class TestCrossValidation:
+    """Frame vs batch-tableau agreement on seeded campaigns."""
+
+    def _ler_pair(self, task):
+        frames = run_task(dataclasses.replace(task, backend="frames"))
+        tableau = run_task(dataclasses.replace(task, backend="tableau"))
+        return frames, tableau
+
+    @pytest.mark.parametrize("distance,shots", [((3, 3), 4096)])
+    def test_rotated_code_depolarizing_d3(self, distance, shots):
+        """Acceptance: seeded frame-backend campaign on the d=3 rotated
+        code reproduces the tableau LER within overlapping 95% Wilson
+        intervals."""
+        task = InjectionTask(code=CodeSpec("xxzz", distance),
+                             intrinsic_p=0.02, shots=shots, seed=101)
+        f, t = self._ler_pair(task)
+        assert f.shots == t.shots == shots
+        assert wilson_overlap(f.errors, f.shots, t.errors, t.shots)
+
+    @pytest.mark.slow
+    def test_rotated_code_depolarizing_d5(self):
+        """Acceptance: the d=5 rotated code (49 qubits) agrees too."""
+        task = InjectionTask(code=CodeSpec("xxzz", (5, 5)),
+                             intrinsic_p=0.02, shots=2048, seed=102)
+        f, t = self._ler_pair(task)
+        assert wilson_overlap(f.errors, f.shots, t.errors, t.shots)
+
+    def test_repetition_erasure_exact_path(self):
+        """Reset faults on a repetition code stay on the exact frame
+        path (the whole reference is Z-basis), so LERs must agree."""
+        task = InjectionTask(
+            code=CodeSpec("repetition", (5, 1)),
+            fault=FaultSpec(kind="erasure", qubits=(2,), probability=1.0),
+            intrinsic_p=0.01, shots=4096, seed=103)
+        f, t = self._ler_pair(task)
+        assert wilson_overlap(f.errors, f.shots, t.errors, t.shots)
+
+    def test_repetition_radiation_exact_path(self):
+        task = InjectionTask(
+            code=CodeSpec("repetition", (5, 1)),
+            fault=FaultSpec(kind="radiation", root_qubit=2, time_index=0),
+            intrinsic_p=0.01, shots=4096, seed=104)
+        f, t = self._ler_pair(task)
+        assert wilson_overlap(f.errors, f.shots, t.errors, t.shots)
+
+    def test_xxzz_moderate_radiation_forced_frames(self):
+        """At moderate strike intensity the twirl approximation is well
+        inside the statistical noise."""
+        task = InjectionTask(
+            code=CodeSpec("xxzz", (3, 3)),
+            fault=FaultSpec(kind="radiation", root_qubit=4, time_index=2),
+            intrinsic_p=0.01, shots=4096, seed=105)
+        f, t = self._ler_pair(task)
+        assert wilson_overlap(f.errors, f.shots, t.errors, t.shots)
+
+    @pytest.mark.slow
+    def test_xxzz_full_intensity_twirl_bias_bounded(self):
+        """Worst case for the approximation (t=0 strike on an entangled
+        code): forced frames stay within 0.1 absolute LER of the true
+        reset semantics.  Documents the bias rather than hiding it."""
+        task = InjectionTask(
+            code=CodeSpec("xxzz", (3, 3)),
+            fault=FaultSpec(kind="radiation", root_qubit=4, time_index=0),
+            intrinsic_p=0.01, shots=4096, seed=106)
+        f, t = self._ler_pair(task)
+        assert abs(f.logical_error_rate - t.logical_error_rate) < 0.1
+
+
+class TestEngineIntegration:
+    def make_task(self, **kw):
+        base = dict(code=CodeSpec("repetition", (3, 1)), intrinsic_p=0.05,
+                    shots=1300, seed=42)
+        base.update(kw)
+        return InjectionTask(**base)
+
+    def test_backend_participates_in_task_key(self):
+        t = self.make_task()
+        assert task_key(t) != task_key(
+            dataclasses.replace(t, backend="tableau"))
+
+    def test_invalid_backend_rejected_by_spec(self):
+        with pytest.raises(ValueError, match="backend"):
+            self.make_task(backend="gpu")
+
+    def test_auto_equals_forced_frames_when_exact(self):
+        t = self.make_task()
+        assert run_task(t).counts == \
+            run_task(dataclasses.replace(t, backend="frames")).counts
+
+    def test_chunk_invariance_on_frame_path(self):
+        """The reproducibility contract holds for the frame backend:
+        counts depend only on the task, never on chunking."""
+        t = self.make_task()
+        single = run_task(t, chunk_shots=t.shots)
+        for chunk_shots in (SIM_BLOCK, 1000, None):
+            assert run_task(t, chunk_shots=chunk_shots).counts \
+                == single.counts
+
+    def test_resume_mid_point_on_frame_path(self, tmp_path):
+        t = self.make_task(shots=1536, seed=9)
+        store = CampaignStore(tmp_path / "store.jsonl")
+        store.append_chunk(task_key(t), next(iter_task_chunks(
+            t, chunk_shots=SIM_BLOCK)))
+        rs = Campaign([t]).run(max_workers=1, resume=store)
+        assert rs[0].counts == run_task(t).counts
+
+    def test_campaign_backend_override(self):
+        tasks = [self.make_task(seed=s, shots=600) for s in (1, 2)]
+        frames = Campaign(tasks).run(max_workers=1, backend="frames")
+        tableau = Campaign(tasks).run(max_workers=1, backend="tableau")
+        assert all(r.task.backend == "frames" for r in frames)
+        assert all(r.task.backend == "tableau" for r in tableau)
+        # different random streams, same physics
+        assert frames.counts() != tableau.counts()
+        for fr, tr in zip(frames, tableau):
+            assert wilson_overlap(fr.errors, fr.shots, tr.errors, tr.shots)
+
+    def test_sweep_spec_backend_knob(self):
+        campaign = build_sweep({"codes": [["repetition", [3, 1]]],
+                                "backend": "tableau"})
+        assert campaign.tasks[0].backend == "tableau"
+
+    def test_result_rows_report_backend(self):
+        rs = Campaign([self.make_task(shots=128)]).run(max_workers=1)
+        assert rs.to_rows()[0]["backend"] == "auto"
+
+    def test_xxzz_radiation_auto_falls_back_to_tableau(self):
+        """auto on a twirl-lowering task must reproduce the tableau
+        stream bit-for-bit (it *is* the tableau path)."""
+        t = InjectionTask(
+            code=CodeSpec("xxzz", (3, 3)),
+            fault=FaultSpec(kind="radiation", root_qubit=2, time_index=0),
+            intrinsic_p=0.01, shots=512, seed=7)
+        auto = run_task(t)
+        pinned = run_task(dataclasses.replace(t, backend="tableau"))
+        assert auto.counts == pinned.counts
+
+
+class TestStoreMerge:
+    def shard(self, tmp_path, name, tasks):
+        path = tmp_path / name
+        Campaign(tasks, root_seed=11).run(max_workers=1,
+                                          resume=CampaignStore(path))
+        return path
+
+    def make_task(self, i, **kw):
+        # Explicit seeds: a sharded campaign pins per-task seeds up
+        # front so every host derives identical task keys.
+        base = dict(code=CodeSpec("repetition", (3, 1)), intrinsic_p=0.05,
+                    shots=600, seed=100 + i)
+        base.update(kw)
+        return InjectionTask(**base).with_tags(idx=i)
+
+    def test_merge_disjoint_shards_resumes(self, tmp_path):
+        tasks = [self.make_task(i) for i in range(4)]
+        a = self.shard(tmp_path, "a.jsonl", tasks[:2])
+        b = self.shard(tmp_path, "b.jsonl", tasks[2:])
+        out = tmp_path / "merged.jsonl"
+        stats = CampaignStore.merge(out, [a, b])
+        assert stats["done"] == 4
+        assert stats["duplicate_done"] == 0
+        merged = CampaignStore(out)
+        campaign = Campaign(tasks, root_seed=11)
+        assert campaign.banked(merged) == 4
+        # the merged store reproduces an uninterrupted run exactly
+        uninterrupted = Campaign(tasks, root_seed=11).run(max_workers=1)
+        resumed = Campaign(tasks, root_seed=11).run(max_workers=1,
+                                                    resume=merged)
+        assert resumed.counts() == uninterrupted.counts()
+
+    def test_merge_deduplicates_overlap(self, tmp_path):
+        tasks = [self.make_task(i) for i in range(3)]
+        a = self.shard(tmp_path, "a.jsonl", tasks[:2])   # 0, 1
+        b = self.shard(tmp_path, "b.jsonl", tasks[1:])   # 1, 2 (overlap)
+        out = tmp_path / "merged.jsonl"
+        stats = CampaignStore.merge(out, [a, b])
+        assert stats["done"] == 3
+        assert stats["duplicate_done"] == 1
+        assert stats["conflicting_chunks"] == 0
+        assert Campaign(tasks, root_seed=11).banked(
+            CampaignStore(out)) == 3
+
+    def test_merge_keeps_richer_done_record(self, tmp_path):
+        """A fixed-budget completion outranks an adaptive early stop of
+        the same point."""
+        from repro.injection import AdaptivePolicy
+
+        t = self.make_task(0, shots=8192, seed=7)
+        early_path = tmp_path / "early.jsonl"
+        Campaign([t]).run(max_workers=1,
+                          adaptive=AdaptivePolicy(rel_halfwidth=0.25),
+                          resume=CampaignStore(early_path))
+        full_path = tmp_path / "full.jsonl"
+        full = Campaign([t]).run(max_workers=1,
+                                 resume=CampaignStore(full_path))
+        out = tmp_path / "merged.jsonl"
+        CampaignStore.merge(out, [early_path, full_path])
+        banked = CampaignStore(out).result_for(t)
+        assert banked.shots == full[0].shots == t.shots
+
+    def test_merge_flags_conflicting_chunks(self, tmp_path):
+        import json
+
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        row = {"kind": "chunk", "key": "k", "start": 0, "shots": 512,
+               "errors": 5, "raw_errors": 6, "corrections": 7,
+               "elapsed_s": 0.1}
+        a.write_text(json.dumps(row) + "\n")
+        row2 = dict(row, errors=9)
+        b.write_text(json.dumps(row2) + "\n")
+        stats = CampaignStore.merge(tmp_path / "out.jsonl", [a, b])
+        assert stats["duplicate_chunks"] == 1
+        assert stats["conflicting_chunks"] == 1
+        # first seen wins
+        kept = CampaignStore(tmp_path / "out.jsonl").chunks_for("k")
+        assert kept[0].errors == 5
+        # same start at a *different* chunk size is a legitimate
+        # different-chunk_shots overlap, not a conflict
+        c = tmp_path / "c.jsonl"
+        c.write_text(json.dumps(dict(row, shots=1024, errors=9)) + "\n")
+        stats = CampaignStore.merge(tmp_path / "out2.jsonl", [a, c])
+        assert stats["duplicate_chunks"] == 1
+        assert stats["conflicting_chunks"] == 0
+
+    def test_merge_flags_conflicting_done_records(self, tmp_path):
+        import json
+
+        row = {"kind": "done", "key": "k", "shots": 512, "errors": 5,
+               "raw_errors": 6, "corrections": 7}
+        (tmp_path / "a.jsonl").write_text(json.dumps(row) + "\n")
+        (tmp_path / "b.jsonl").write_text(
+            json.dumps(dict(row, errors=9)) + "\n")
+        stats = CampaignStore.merge(
+            tmp_path / "out.jsonl",
+            [tmp_path / "a.jsonl", tmp_path / "b.jsonl"])
+        assert stats["duplicate_done"] == 1
+        assert stats["conflicting_done"] == 1
+        # different shot budgets are a legitimate adaptive-vs-fixed
+        # overlap, not a conflict
+        (tmp_path / "c.jsonl").write_text(
+            json.dumps(dict(row, shots=1024, errors=11)) + "\n")
+        stats = CampaignStore.merge(
+            tmp_path / "out2.jsonl",
+            [tmp_path / "a.jsonl", tmp_path / "c.jsonl"])
+        assert stats["conflicting_done"] == 0
+
+    def test_merge_into_existing_out_is_incremental(self, tmp_path):
+        tasks = [self.make_task(i) for i in range(2)]
+        out = self.shard(tmp_path, "merged.jsonl", tasks[:1])
+        b = self.shard(tmp_path, "b.jsonl", tasks[1:])
+        stats = CampaignStore.merge(out, [b])
+        assert stats["inputs"] == 2      # existing out joined the merge
+        assert stats["done"] == 2
+
+    def test_merge_missing_shard_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CampaignStore.merge(tmp_path / "out.jsonl",
+                                [tmp_path / "nope.jsonl"])

@@ -149,6 +149,49 @@ class TestErasureChannel:
         assert (rec[:, 1] == 1).all()
 
 
+class TestErasureBatchSemantics:
+    """Masked-batch behaviour of the erasure channel: a partial-
+    probability erasure must reset exactly the sampled shots, leave the
+    rest untouched, and act like a true per-shot reset on entangled
+    states."""
+
+    def test_masked_shots_leave_companions_untouched(self):
+        """p=0.5 erasure on qubit 0: qubit 1 stays |1> in every shot,
+        and qubit 0 is reset in the erased shots only."""
+        circ = Circuit(2).x(0).x(1).measure(0, 0).measure(1, 1)
+        noise = NoiseModel([ErasureChannel([0], 0.5)])
+        rec = run_batch_noisy(circ, noise, 6000, rng=9, backend="tableau")
+        assert (rec[:, 1] == 1).all()
+        frac = np.mean(rec[:, 0] == 0)
+        # One site (the X gate) precedes the measurement; the firing
+        # after the measure itself is too late to touch the record.
+        assert frac == pytest.approx(0.5, abs=0.03)
+
+    def test_erasure_decorrelates_bell_pair(self):
+        """Erasing one half of a Bell pair yields uncorrelated Z
+        outcomes: the erased qubit pins to |0>, the partner stays
+        maximally mixed."""
+        circ = Circuit(2).h(0).cx(0, 1)
+        circ.barrier()
+        circ.i(1)  # erasure site on qubit 1, after entanglement
+        circ.measure(0, 0).measure(1, 1)
+        noise = NoiseModel([ErasureChannel([1], 1.0)])
+        rec = run_batch_noisy(circ, noise, 8000, rng=10, backend="tableau")
+        assert (rec[:, 1] == 0).all()           # reset just before measure
+        assert np.mean(rec[:, 0]) == pytest.approx(0.5, abs=0.02)
+
+    def test_batch_and_single_shot_statistics_agree(self):
+        circ = Circuit(1).x(0).measure(0, 0)
+        noise = NoiseModel([ErasureChannel([0], 0.3)])
+        batch = run_batch_noisy(circ, noise, 4000, rng=11,
+                                backend="tableau")
+        batch_rate = np.mean(batch[:, 0] == 0)
+        single_rate = np.mean([run_single_noisy(circ, noise, rng=s)[0] == 0
+                               for s in range(1500)])
+        assert batch_rate == pytest.approx(0.3, abs=0.03)
+        assert single_rate == pytest.approx(0.3, abs=0.04)
+
+
 class TestRadiationEvent:
     def make_event(self, **kw):
         arch = mesh(3, 3)
@@ -194,6 +237,60 @@ class TestRadiationEvent:
     def test_event_times_match_sampling(self):
         ev = self.make_event(num_samples=5)
         assert len(ev.times) == 5
+
+    def test_custom_gamma_probability_vectors(self):
+        """Eq. 7 at non-default gamma: the root decays as exp(-gamma t)
+        and every neighbour keeps the same S(d) scaling at all samples."""
+        ev = self.make_event(gamma=2.0, num_samples=5)
+        ts = np.linspace(0.0, 1.0, 5)
+        for k, t in enumerate(ts):
+            p = ev.qubit_probabilities(k)
+            assert ev.root_probability(k) == pytest.approx(np.exp(-2.0 * t))
+            assert p[4] == pytest.approx(np.exp(-2.0 * t))
+            assert p[1] == pytest.approx(np.exp(-2.0 * t) * 0.25)
+        # Slower decay than the paper default at every interior sample.
+        default = self.make_event(num_samples=5)
+        for k in range(1, 5):
+            assert ev.root_probability(k) > default.root_probability(k)
+
+    def test_custom_spatial_n_profile(self):
+        """Eq. 6 at n=2: S(d) = 4 / (d + 2)^2."""
+        ev = self.make_event(n=2.0)
+        p = ev.qubit_probabilities(0)
+        assert p[4] == pytest.approx(1.0)               # root, d = 0
+        assert p[1] == pytest.approx(4.0 / 9.0)         # d = 1
+        assert p[0] == pytest.approx(4.0 / 16.0)        # d = 2
+
+    def test_coarse_sampling_still_spans_window(self):
+        """n_s=3 keeps the strike instant and the window end, with the
+        midpoint at exp(-gamma/2)."""
+        ev = self.make_event(num_samples=3)
+        probs = [ev.root_probability(k) for k in range(3)]
+        assert probs[0] == pytest.approx(1.0)
+        assert probs[1] == pytest.approx(np.exp(-5.0))
+        assert probs[2] == pytest.approx(np.exp(-10.0))
+
+    def test_fault_spec_rejects_time_index_beyond_custom_ns(self):
+        from repro.injection import FaultSpec
+
+        with pytest.raises(ValueError):
+            FaultSpec(kind="radiation", time_index=3, num_samples=3)
+        FaultSpec(kind="radiation", time_index=2, num_samples=3)  # ok
+
+    def test_custom_parameters_thread_through_task(self):
+        """A campaign task carrying non-default gamma / n_s samples a
+        *milder* late-time fault than the paper default."""
+        from repro.injection import CodeSpec, FaultSpec, InjectionTask, run_task
+
+        common = dict(code=CodeSpec("repetition", (3, 1)),
+                      intrinsic_p=0.0, shots=400)
+        mild = run_task(InjectionTask(
+            fault=FaultSpec(kind="radiation", root_qubit=1, time_index=4,
+                            num_samples=5, gamma=20.0), seed=31, **common))
+        harsh = run_task(InjectionTask(
+            fault=FaultSpec(kind="radiation", root_qubit=1, time_index=0,
+                            num_samples=5, gamma=20.0), seed=31, **common))
+        assert mild.errors <= harsh.errors
 
 
 class TestRadiationChannel:
