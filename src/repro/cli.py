@@ -178,6 +178,27 @@ def cmd_headline(args) -> None:
            "Paper observations I-VIII — paper vs measured")
 
 
+def cmd_detect(args) -> None:
+    from .experiments import fig_detect
+
+    roc, policies = fig_detect.run(
+        shots=args.shots, distance=args.distance, rounds=args.rounds,
+        strike_round=args.strike_round, intensity=args.intensity,
+        decoder=args.decoder, max_workers=args.workers,
+        store=getattr(args, "store", None), adaptive=_policy(args),
+        chunk_shots=getattr(args, "chunk_shots", None),
+        backend=getattr(args, "backend", None))
+    _write([p.to_row() for p in roc], args,
+           "Detection — ROC / latency / localisation vs strike intensity")
+    print()
+    policy_args = argparse.Namespace(
+        csv=_sibling_csv(args.csv, "policies") if args.csv else None)
+    _write(policies, policy_args,
+           f"Recovery policies — d={args.distance} rotated code, "
+           f"strike at round {args.strike_round} "
+           f"(intensity {args.intensity:g}, paired seeds)")
+
+
 def cmd_campaign(args) -> None:
     from .injection.store import CampaignStore
     from .injection.sweep import build_sweep
@@ -189,14 +210,16 @@ def cmd_campaign(args) -> None:
     campaign = build_sweep(spec)
     policy = _policy(args)
     store = CampaignStore(args.store) if args.store else None
-    banked = campaign.banked(store, adaptive=policy, backend=args.backend)
+    banked = campaign.banked(store, adaptive=policy, backend=args.backend,
+                             recovery=args.recovery)
     print(f"campaign: {len(campaign)} points"
           + (f" ({banked} already complete in {args.store})" if store
              else ""))
     results = campaign.run(max_workers=args.workers,
                            chunk_shots=args.chunk_shots,
                            adaptive=policy, resume=store,
-                           backend=args.backend)
+                           backend=args.backend,
+                           recovery=args.recovery)
     _write(results.to_rows(), args, f"Campaign — {args.spec}")
     ceiling = sum(policy.ceiling(t.shots) if policy else t.shots
                   for t in campaign.tasks)
@@ -240,6 +263,7 @@ COMMANDS = {
     "fig7": cmd_fig7,
     "fig8": cmd_fig8,
     "headline": cmd_headline,
+    "detect": cmd_detect,
     "campaign": cmd_campaign,
     "store": cmd_store,
 }
@@ -288,6 +312,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write rows to this CSV file")
         if name in CAMPAIGN_FIGURES:
             _add_engine_options(sub)
+    det = subs.add_parser(
+        "detect", help="strike-detection ROC + recovery-policy LER "
+                       "(streaming CUSUM over packed syndromes)")
+    det.add_argument("--shots", type=int, default=1024,
+                     help="shots per batch / campaign point")
+    det.add_argument("--distance", type=int, default=5,
+                     help="rotated-code distance (d, d)")
+    det.add_argument("--rounds", type=int, default=10,
+                     help="syndrome rounds of the memory experiment")
+    det.add_argument("--strike-round", type=int, default=4,
+                     help="round the radiation burst lands on")
+    det.add_argument("--intensity", type=float, default=1.0,
+                     help="strike energy scale for the policy panel "
+                          "(1.0 = the paper's full strike)")
+    det.add_argument("--decoder", type=str, default="mwpm",
+                     help="base decoder for the policy panel")
+    det.add_argument("--workers", type=int, default=None,
+                     help="process-pool size (default: all cores)")
+    det.add_argument("--csv", type=str, default=None,
+                     help="write the ROC rows here (policy rows go to "
+                          "a .policies sibling)")
+    _add_engine_options(det)
     camp = subs.add_parser(
         "campaign", help="run a JSON sweep spec through the engine")
     camp.add_argument("spec", type=str,
@@ -299,6 +345,17 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--csv", type=str, default=None,
                       help="also write result rows to this CSV file")
     _add_engine_options(camp)
+    from .detect.recovery import RECOVERY_POLICIES
+
+    camp.add_argument("--recovery", type=str, default=None,
+                      choices=RECOVERY_POLICIES,
+                      help="burst-recovery policy for every point: "
+                           "'reweight' = detect strikes per batch and "
+                           "decode flagged shots on a model-reweighted "
+                           "graph, 'discard_window' = clear flagged "
+                           "shots' burst-window detectors, 'static' = "
+                           "plain decode (default: the task's own "
+                           "setting)")
     store = subs.add_parser(
         "store", help="manage JSONL campaign stores")
     store_subs = store.add_subparsers(dest="store_command", required=True,

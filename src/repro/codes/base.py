@@ -80,6 +80,25 @@ class StabilizerCode(abc.ABC):
             return QubitRole.READOUT
         raise ValueError(f"qubit {qubit} not part of {self.name}")
 
+    @property
+    def measures_per_round(self) -> int:
+        """Ancilla measurements per syndrome round — the round-boundary
+        marker shared by the burst channel (it counts measurements to
+        track rounds) and the detection geometry."""
+        return len(self.z_ancillas) + len(self.x_ancillas)
+
+    def qubit_positions(self) -> Optional[Dict[int, Tuple[float, float]]]:
+        """Planar qubit coordinates in half-step units, or ``None``.
+
+        Neighbouring data/ancilla qubits sit two half-steps apart, so
+        device (graph) distance between qubits ``a`` and ``b`` is
+        approximately ``(|dx| + |dy|) / 2``.  Consumers: the detection
+        subsystem's strike localisation and model-inverted reweighting
+        (:mod:`repro.detect.recovery`), which fall back to coarser
+        plaquette-hop distances when a geometry has no embedding.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Pauli views (verification / tests)
     # ------------------------------------------------------------------

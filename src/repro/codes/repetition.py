@@ -12,7 +12,7 @@ collects the final logical parity: ``q_rep = 2d`` qubits in total.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 from .base import StabilizerCode
 
@@ -57,6 +57,18 @@ class RepetitionCode(StabilizerCode):
         # X^(x)d maps |0..0> -> |1..1>; Z^(x)d reads the parity (d odd).
         self.logical_x_support = tuple(range(d))
         self.logical_z_support = tuple(range(d))
+
+    def qubit_positions(self) -> Optional[Dict[int, Tuple[float, float]]]:
+        """Chain embedding: data at even half-steps, each check ancilla
+        between its pair, the readout ancilla past the chain end."""
+        pos: Dict[int, Tuple[float, float]] = {
+            q: (0.0, 2.0 * q) for q in self.data_qubits}
+        ancillas = self.z_ancillas or self.x_ancillas
+        checks = self.z_plaquettes or self.x_plaquettes
+        for anc, (a, b) in zip(ancillas, checks):
+            pos[anc] = (0.0, float(a + b))
+        pos[self.readout_qubit] = (0.0, 2.0 * self.d)
+        return pos
 
     def __repr__(self) -> str:
         return (f"RepetitionCode(d={self.d}, basis={self.basis!r}, "

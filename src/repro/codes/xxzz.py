@@ -22,7 +22,7 @@ paper's Fig. 6b, are identical.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 from .base import StabilizerCode
 from .rotated import RotatedLattice
@@ -62,6 +62,23 @@ class XXZZCode(StabilizerCode):
         self.readout_qubit = n + nz + nx
         self.logical_x_support = self.lattice.logical_x_data()
         self.logical_z_support = self.lattice.logical_z_data()
+
+    def qubit_positions(self) -> Optional[Dict[int, Tuple[float, float]]]:
+        """Checkerboard embedding: data at even-even half-step coords,
+        plaquette ancillas at the odd-odd centres of their plaquettes,
+        the readout ancilla beside the logical-Z row."""
+        pos: Dict[int, Tuple[float, float]] = {}
+        for q in self.data_qubits:
+            r, c = divmod(q, self.lattice.cols)
+            pos[q] = (2.0 * r, 2.0 * c)
+        for anc, plaq in zip(self.z_ancillas, self.lattice.z_plaquettes):
+            pr, pc = plaq.position
+            pos[anc] = (2.0 * pr + 1, 2.0 * pc + 1)
+        for anc, plaq in zip(self.x_ancillas, self.lattice.x_plaquettes):
+            pr, pc = plaq.position
+            pos[anc] = (2.0 * pr + 1, 2.0 * pc + 1)
+        pos[self.readout_qubit] = (-2.0, 0.0)
+        return pos
 
     def __repr__(self) -> str:
         return (f"XXZZCode(dz={self.dz}, dx={self.dx}, "

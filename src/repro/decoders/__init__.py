@@ -1,7 +1,8 @@
 """Syndrome decoders: detector graph, MWPM (paper default), union-find."""
 
 from .base import DecodeResult, Decoder
-from .detector_graph import BOUNDARY, DetectorEdge, DetectorGraph
+from .detector_graph import (BOUNDARY, ERASED_WEIGHT, DetectorEdge,
+                             DetectorGraph)
 from .matching import MWPMDecoder
 from .unionfind import UnionFindDecoder
 
@@ -44,6 +45,7 @@ __all__ = [
     "DetectorGraph",
     "DetectorEdge",
     "BOUNDARY",
+    "ERASED_WEIGHT",
     "MWPMDecoder",
     "UnionFindDecoder",
     "decoder_for",

@@ -17,8 +17,9 @@ sums these flags along its correction to fix the raw readout parity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import heapq
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +27,13 @@ from ..codes.base import MemoryExperiment, StabilizerCode
 
 #: Virtual boundary node id (all real nodes are >= 0).
 BOUNDARY = -1
+
+#: Weight assigned to edges inside an estimated strike region by the
+#: burst-adaptive reweighting (:mod:`repro.detect.recovery`): small
+#: enough that paths through the blast are near-free (erasure-style),
+#: large enough that dozens of chained near-zero edges cannot undercut
+#: a single unit edge's tie-breaking epsilon.
+ERASED_WEIGHT = 1e-3
 
 
 @dataclass(frozen=True)
@@ -101,6 +109,41 @@ class DetectorGraph:
         self._parity: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
+    # Reweighting (burst-adaptive decoding)
+    # ------------------------------------------------------------------
+    def reweighted(self, weight_for: Callable[["DetectorEdge"], float]
+                   ) -> "DetectorGraph":
+        """A copy of this graph with per-edge weights from ``weight_for``.
+
+        The geometry (nodes, edges, logical flips) is shared; only the
+        weights — and therefore the lazily rebuilt shortest-path tables
+        — differ.  This is the mechanism behind erasure-style recovery:
+        assign :data:`ERASED_WEIGHT` inside an estimated strike region
+        and the decoders prefer matching through the damaged volume.
+        """
+        g = object.__new__(DetectorGraph)
+        g.code = self.code
+        g.rounds = self.rounds
+        g.basis = self.basis
+        g.num_plaquettes = self.num_plaquettes
+        g.num_nodes = self.num_nodes
+        g.undetectable = self.undetectable
+        g.edges = []
+        for e in self.edges:
+            w = float(weight_for(e))
+            if w <= 0.0:
+                raise ValueError("edge weights must be positive")
+            g.edges.append(e if w == e.weight else replace(e, weight=w))
+        g._dist = None
+        g._parity = None
+        return g
+
+    @property
+    def unit_weights(self) -> bool:
+        """True when every edge still carries the default weight 1."""
+        return all(e.weight == 1.0 for e in self.edges)
+
+    # ------------------------------------------------------------------
     def node_id(self, round_index: int, plaquette_index: int) -> int:
         return round_index * self.num_plaquettes + plaquette_index
 
@@ -133,34 +176,64 @@ class DetectorGraph:
     # All-pairs shortest paths with logical parity
     # ------------------------------------------------------------------
     def _build_paths(self) -> None:
-        """BFS from every node, tracking logical parity along the tree.
+        """Shortest paths from every node, tracking logical parity.
 
-        Distances/parities to the boundary use a virtual node appended
-        at index ``num_nodes``.
+        Unit-weight graphs (the static decode) use BFS; reweighted
+        graphs use Dijkstra over the edge weights.  Distances/parities
+        to the boundary use a virtual node appended at ``num_nodes``.
         """
         n = self.num_nodes
-        adj: List[List[Tuple[int, bool]]] = [[] for _ in range(n + 1)]
         bidx = n
+        if self.unit_weights:
+            adj: List[List[Tuple[int, bool]]] = [[] for _ in range(n + 1)]
+            for e in self.edges:
+                u = e.u if e.u != BOUNDARY else bidx
+                v = e.v if e.v != BOUNDARY else bidx
+                adj[u].append((v, e.logical_flip))
+                adj[v].append((u, e.logical_flip))
+            dist = np.full((n, n + 1), np.inf)
+            parity = np.zeros((n, n + 1), dtype=np.uint8)
+            for src in range(n):
+                dist[src, src] = 0
+                queue = [src]
+                head = 0
+                while head < len(queue):
+                    u = queue[head]
+                    head += 1
+                    for v, flip in adj[u]:
+                        if not np.isfinite(dist[src, v]):
+                            dist[src, v] = dist[src, u] + 1
+                            parity[src, v] = parity[src, u] ^ int(flip)
+                            if v != bidx:  # boundary absorbs: don't expand
+                                queue.append(v)
+            self._dist = dist
+            self._parity = parity
+            return
+        wadj: List[List[Tuple[int, float, bool]]] = [[] for _ in range(n + 1)]
         for e in self.edges:
             u = e.u if e.u != BOUNDARY else bidx
             v = e.v if e.v != BOUNDARY else bidx
-            adj[u].append((v, e.logical_flip))
-            adj[v].append((u, e.logical_flip))
+            wadj[u].append((v, e.weight, e.logical_flip))
+            wadj[v].append((u, e.weight, e.logical_flip))
         dist = np.full((n, n + 1), np.inf)
         parity = np.zeros((n, n + 1), dtype=np.uint8)
         for src in range(n):
             dist[src, src] = 0
-            queue = [src]
-            head = 0
-            while head < len(queue):
-                u = queue[head]
-                head += 1
-                for v, flip in adj[u]:
-                    if not np.isfinite(dist[src, v]):
-                        dist[src, v] = dist[src, u] + 1
+            heap = [(0.0, src)]
+            done = np.zeros(n + 1, dtype=bool)
+            while heap:
+                d, u = heapq.heappop(heap)
+                if done[u]:
+                    continue
+                done[u] = True
+                if u == bidx:  # boundary absorbs: do not expand
+                    continue
+                for v, w, flip in wadj[u]:
+                    nd = d + w
+                    if nd < dist[src, v]:
+                        dist[src, v] = nd
                         parity[src, v] = parity[src, u] ^ int(flip)
-                        if v != bidx:  # boundary absorbs: do not expand
-                            queue.append(v)
+                        heapq.heappush(heap, (nd, v))
         self._dist = dist
         self._parity = parity
 

@@ -18,15 +18,13 @@ before matching — a large win at low fault intensity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 import networkx as nx
 import numpy as np
 
-from ..codes.base import MemoryExperiment
-from .base import Decoder, DecodeResult, prepare_decode_inputs
-from .detector_graph import BOUNDARY, DetectorGraph
+from .base import Decoder
+from .detector_graph import DetectorGraph
 
 #: Event-count threshold below which the exact bitmask DP is used.
 _DP_LIMIT = 16
@@ -129,7 +127,11 @@ class MWPMDecoder(Decoder):
 
     # ------------------------------------------------------------------
     def correction_parity(self, detector_bits: np.ndarray) -> int:
-        """Decode one flattened detector pattern -> readout correction."""
+        """Decode one flattened detector pattern -> readout correction.
+
+        Shortest-path distances respect the graph's edge weights, so a
+        reweighted graph (burst-adaptive recovery) changes the matching
+        through this one table."""
         events = tuple(int(i) for i in np.nonzero(detector_bits)[0])
         if not events:
             return 0
@@ -142,23 +144,3 @@ class MWPMDecoder(Decoder):
             _, corr = _nx_match(events, dist, parity, bcol)
         return corr
 
-    def decode_batch(self, experiment: MemoryExperiment,
-                     records: np.ndarray) -> DecodeResult:
-        det, raw = prepare_decode_inputs(experiment, records, self.graph,
-                                         self.use_final_data)
-        B = det.shape[0]
-        flat = det.reshape(B, -1)
-        if flat.shape[1] == 0:
-            decoded = raw.copy()
-            return DecodeResult(decoded=decoded,
-                                expected=experiment.expected_logical,
-                                corrections=np.zeros(B, dtype=np.uint8))
-        uniq, inverse = np.unique(flat, axis=0, return_inverse=True)
-        pattern_corr = np.fromiter(
-            (self.correction_parity(u) for u in uniq),
-            dtype=np.uint8, count=uniq.shape[0])
-        corrections = pattern_corr[inverse]
-        decoded = raw ^ corrections
-        return DecodeResult(decoded=decoded,
-                            expected=experiment.expected_logical,
-                            corrections=corrections)

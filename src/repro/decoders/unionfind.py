@@ -15,9 +15,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from ..codes.base import MemoryExperiment
-from .base import Decoder, DecodeResult, prepare_decode_inputs
-from .detector_graph import BOUNDARY, DetectorGraph
+from .base import Decoder
+from .detector_graph import BOUNDARY, ERASED_WEIGHT, DetectorGraph
 
 
 class _DSU:
@@ -86,6 +85,17 @@ class UnionFindDecoder(Decoder):
             dsu.parity[d] = 1
         growth = [0] * len(edges)   # 0 .. 2 half-steps
         grown: Set[int] = set()
+
+        # Erasure pre-growth (Delfosse–Zémor): edges the graph marks as
+        # near-free — the burst-adaptive reweighting of an estimated
+        # strike region — start fully grown, seeding clusters that span
+        # the damaged volume before weight-1 growth begins.
+        for ei, e in enumerate(g.edges):
+            if e.weight <= ERASED_WEIGHT:
+                u, v, _ = edges[ei]
+                growth[ei] = 2
+                grown.add(ei)
+                dsu.union(u, v)
 
         def odd_roots() -> Set[int]:
             roots = set()
@@ -179,24 +189,3 @@ class UnionFindDecoder(Decoder):
                 if pnode != bnode:
                     defect_flag[pnode] = not defect_flag.get(pnode, False)
         return corr
-
-    # ------------------------------------------------------------------
-    def decode_batch(self, experiment: MemoryExperiment,
-                     records: np.ndarray) -> DecodeResult:
-        det, raw = prepare_decode_inputs(experiment, records, self.graph,
-                                         self.use_final_data)
-        B = det.shape[0]
-        flat = det.reshape(B, -1)
-        if flat.shape[1] == 0:
-            return DecodeResult(decoded=raw.copy(),
-                                expected=experiment.expected_logical,
-                                corrections=np.zeros(B, dtype=np.uint8))
-        uniq, inverse = np.unique(flat, axis=0, return_inverse=True)
-        pattern_corr = np.fromiter(
-            (self.correction_parity(u) for u in uniq),
-            dtype=np.uint8, count=uniq.shape[0])
-        corrections = pattern_corr[inverse]
-        decoded = raw ^ corrections
-        return DecodeResult(decoded=decoded,
-                            expected=experiment.expected_logical,
-                            corrections=corrections)

@@ -1,0 +1,122 @@
+"""Spatial localisation of a detected strike.
+
+Given a flagged batch window, the per-plaquette event totals (a packed
+popcount) form an excess-rate map over the code's plaquette graph.  The
+strike epicenter is the hottest plaquette; the blast cluster is the
+connected region (plaquettes sharing a data qubit) whose excess stays
+above a fraction of the peak; its radius is the plaquette-graph
+eccentricity from the epicenter.  The cluster's data-qubit support is
+what the recovery policies feed back into the decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..codes.base import StabilizerCode
+from .detector import DetectionReport
+from .stream import PackedSyndromes, pack_shot_mask
+
+
+@dataclass(frozen=True)
+class StrikeCluster:
+    """Estimated extent of one radiation strike.
+
+    ``window`` is the burst's round span ``[start, end)``;
+    ``plaquettes`` the in-cluster plaquette indices in the *stream's*
+    combined ordering (primary basis first, then dual);
+    ``primary_plaquettes`` the subset living in the decode basis (what
+    time-edge reweighting consumes); ``qubits`` the union of all
+    in-cluster plaquette supports; ``radius`` the maximal
+    plaquette-graph distance from the epicenter inside the cluster.
+    """
+
+    epicenter: int
+    plaquettes: Tuple[int, ...]
+    primary_plaquettes: Tuple[int, ...]
+    qubits: Tuple[int, ...]
+    radius: int
+    window: Tuple[int, int]
+
+
+def _combined_supports(code: StabilizerCode, basis: str,
+                       num_primary: int, total: int) -> List[Tuple[int, ...]]:
+    """Plaquette data supports in the stream's combined ordering."""
+    primary = (code.z_plaquettes if basis == "Z" else code.x_plaquettes)
+    supports = list(primary[:num_primary])
+    if total > num_primary:
+        dual = (code.x_plaquettes if basis == "Z" else code.z_plaquettes)
+        supports.extend(dual)
+    return supports
+
+
+def plaquette_adjacency(supports: Sequence[Tuple[int, ...]]
+                        ) -> List[List[int]]:
+    """Plaquette graph: edges join plaquettes sharing a data qubit.
+
+    Works on any support list — one basis or the combined Z+X ordering
+    (where Z and X plaquettes overlapping on data connect the two
+    families, keeping a blast region one component).
+    """
+    membership: Dict[int, List[int]] = {}
+    for pi, support in enumerate(supports):
+        for q in support:
+            membership.setdefault(q, []).append(pi)
+    adj: List[set] = [set() for _ in supports]
+    for plist in membership.values():
+        for a in plist:
+            for b in plist:
+                if a != b:
+                    adj[a].add(b)
+    return [sorted(s) for s in adj]
+
+
+def estimate_cluster(packed: PackedSyndromes, report: DetectionReport,
+                     code: StabilizerCode,
+                     rel_threshold: float = 0.25) -> Optional[StrikeCluster]:
+    """Localise the strike behind a detection report, or ``None``.
+
+    ``rel_threshold`` — a plaquette joins the cluster while its excess
+    event count stays above this fraction of the peak excess.
+    """
+    if not report.flagged.any() or packed.num_plaquettes == 0:
+        return None
+    window = report.active_rounds
+    if window is None:
+        start = int(report.flag_round[report.flagged].min())
+        window = (start, packed.rounds)
+    mask = pack_shot_mask(report.flagged)
+    counts = packed.plaquette_event_counts(
+        shot_mask=mask, rounds=slice(*window)).sum(axis=0)  # (P,)
+    background = float(np.median(counts))
+    excess = counts - background
+    peak = float(excess.max())
+    if peak <= 0:
+        return None
+    epicenter = int(np.argmax(excess))
+    thr = rel_threshold * peak
+    hot = excess >= thr
+    # Connected component of hot plaquettes containing the epicenter.
+    supports = _combined_supports(code, packed.basis, packed.num_primary,
+                                  packed.num_plaquettes)
+    adj = plaquette_adjacency(supports)
+    depth = {epicenter: 0}
+    queue = [epicenter]
+    head = 0
+    while head < len(queue):
+        p = queue[head]
+        head += 1
+        for nb in adj[p]:
+            if nb not in depth and hot[nb]:
+                depth[nb] = depth[p] + 1
+                queue.append(nb)
+    plaquettes = tuple(sorted(depth))
+    qubits = sorted({q for p in plaquettes for q in supports[p]})
+    return StrikeCluster(
+        epicenter=epicenter, plaquettes=plaquettes,
+        primary_plaquettes=tuple(p for p in plaquettes
+                                 if p < packed.num_primary),
+        qubits=tuple(qubits), radius=max(depth.values()), window=window)

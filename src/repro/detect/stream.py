@@ -1,0 +1,169 @@
+"""Packed syndrome streams: frame-native detector input.
+
+The frame backend's natural output is bit-packed record words — 64
+shots per ``uint64`` (:meth:`repro.frames.simulator.FrameSimulator.
+run_packed`).  Historically every consumer forced an unpack to per-shot
+uint8 records; this module keeps the stream packed end to end for the
+detection path:
+
+* syndrome extraction is word *indexing* (one row per round/plaquette
+  cbit),
+* detector differencing is whole-word XOR of consecutive rounds,
+* per-plaquette event totals are word popcounts,
+* per-shot event counts are bit-sliced vertical-counter adds
+  (:func:`repro.frames.packing.column_counts`).
+
+A :class:`PackedSyndromes` built from the tableau backend's uint8
+records packs once at construction and shares the same downstream
+kernels, so the streaming detector is backend-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..codes.base import MemoryExperiment
+from ..frames.packing import (
+    column_counts,
+    pack_bool,
+    pack_bool_rows,
+    popcount_words,
+    words_for,
+)
+
+
+@dataclass
+class PackedSyndromes:
+    """Detection-event words for one batch of a memory experiment.
+
+    Attributes
+    ----------
+    basis:
+        *Primary* plaquette basis (the decode basis): its plaquettes
+        occupy ``det[:, :num_primary]``.  When built with
+        ``include_dual`` (the default) the dual basis's plaquettes
+        follow — a strike's resets scatter both X and Z errors, so
+        watching both syndrome families roughly doubles the detection
+        signal even though only the primary family feeds the decoder.
+    batch_size:
+        Shots ``B`` (bit index within the word rows).
+    det:
+        ``(rounds, P, words_for(B))`` uint64 — detector values
+        (consecutive-round syndrome XOR; round 0 against the prepared
+        eigenstate for the memory basis, suppressed for its dual)
+        bit-packed across shots.
+    num_primary:
+        Plaquette count of the primary basis (prefix of axis 1).
+    """
+
+    basis: str
+    batch_size: int
+    det: np.ndarray
+    num_primary: int
+
+    @property
+    def rounds(self) -> int:
+        return int(self.det.shape[0])
+
+    @property
+    def num_plaquettes(self) -> int:
+        return int(self.det.shape[1])
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cbit_table(experiment: MemoryExperiment, basis: str) -> np.ndarray:
+        table = (experiment.z_syndrome_cbits if basis == "Z"
+                 else experiment.x_syndrome_cbits)
+        if not table or not table[0]:
+            return np.zeros((experiment.rounds, 0), dtype=np.intp)
+        return np.asarray(table, dtype=np.intp)
+
+    @classmethod
+    def _assemble(cls, syn_of, experiment: MemoryExperiment, batch_size: int,
+                  basis: str, include_dual: bool) -> "PackedSyndromes":
+        """Shared constructor body: ``syn_of(idx_table) -> (R, P, W)``."""
+        basis = basis or experiment.basis
+        bases = [basis] + ([{"Z": "X", "X": "Z"}[basis]]
+                           if include_dual else [])
+        parts = []
+        num_primary = 0
+        for i, b in enumerate(bases):
+            syn = syn_of(cls._cbit_table(experiment, b))
+            det = syn.copy()
+            det[1:] ^= syn[:-1]
+            if b != experiment.basis:
+                det[0] = 0
+            if i == 0:
+                num_primary = det.shape[1]
+            parts.append(det)
+        det = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=1)
+        return cls(basis=basis, batch_size=int(batch_size), det=det,
+                   num_primary=num_primary)
+
+    @classmethod
+    def from_record_words(cls, record_words: np.ndarray,
+                          experiment: MemoryExperiment, batch_size: int,
+                          basis: Optional[str] = None,
+                          include_dual: bool = True) -> "PackedSyndromes":
+        """Frame-native path: consume ``(num_cbits, W)`` record words
+        straight from :meth:`FrameSimulator.run_packed` — no unpack."""
+        return cls._assemble(lambda idx: record_words[idx], experiment,
+                             batch_size, basis or experiment.basis,
+                             include_dual)
+
+    @classmethod
+    def from_records(cls, records: np.ndarray, experiment: MemoryExperiment,
+                     basis: Optional[str] = None,
+                     include_dual: bool = True) -> "PackedSyndromes":
+        """Adapter for uint8 ``(B, num_cbits)`` records (tableau path):
+        packs the syndrome columns once, then shares the packed kernels."""
+        B = int(records.shape[0])
+
+        def syn_of(idx: np.ndarray) -> np.ndarray:
+            rounds, P = idx.shape
+            if P == 0:
+                return np.zeros((rounds, 0, words_for(B)), dtype=np.uint64)
+            syn_bits = records[:, idx]       # (B, rounds, P)
+            flat = np.ascontiguousarray(
+                syn_bits.transpose(1, 2, 0).reshape(rounds * P, B))
+            return pack_bool_rows(flat).reshape(rounds, P, -1)
+
+        return cls._assemble(syn_of, experiment, B,
+                             basis or experiment.basis, include_dual)
+
+    # ------------------------------------------------------------------
+    # Packed reductions
+    # ------------------------------------------------------------------
+    def round_event_counts(self) -> np.ndarray:
+        """Per-shot detection events per round, shape ``(B, rounds)``.
+
+        Bit-sliced vertical counters over the plaquette planes of each
+        round — the packed equivalent of ``det.sum(axis=plaquette)``.
+        """
+        counts = np.empty((self.batch_size, self.rounds), dtype=np.int64)
+        for r in range(self.rounds):
+            counts[:, r] = column_counts(self.det[r], self.batch_size)
+        return counts
+
+    def plaquette_event_counts(self, shot_mask: Optional[np.ndarray] = None,
+                               rounds: Optional[slice] = None) -> np.ndarray:
+        """Across-shot event totals per (round, plaquette).
+
+        ``shot_mask`` — optional packed ``(W,)`` shot-selection mask
+        (see :func:`pack_shot_mask`); ``rounds`` restricts the round
+        axis.  Returns ``(rounds, P)`` int64.
+        """
+        det = self.det if rounds is None else self.det[rounds]
+        if shot_mask is not None:
+            det = det & shot_mask
+        return popcount_words(det).sum(axis=-1)
+
+
+def pack_shot_mask(flags: np.ndarray) -> np.ndarray:
+    """Pack a per-shot boolean selection into a ``(W,)`` word mask."""
+    return pack_bool(np.asarray(flags, dtype=bool))

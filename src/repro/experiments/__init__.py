@@ -8,6 +8,7 @@ Each module regenerates one figure's data series:
 * :mod:`.fig6_distance` — single-erasure criticality by code distance.
 * :mod:`.fig7_spread` — spreading fault vs multi-qubit erasure.
 * :mod:`.fig8_architecture` — per-qubit criticality across topologies.
+* :mod:`.fig_detect` — strike-detection ROC and recovery-policy LER.
 * :mod:`.headline` — Observation I-VIII paper-vs-measured checks.
 """
 
@@ -18,6 +19,7 @@ from . import (
     fig6_distance,
     fig7_spread,
     fig8_architecture,
+    fig_detect,
     headline,
     rounds_ablation,
 )
@@ -29,6 +31,7 @@ __all__ = [
     "fig6_distance",
     "fig7_spread",
     "fig8_architecture",
+    "fig_detect",
     "headline",
     "rounds_ablation",
 ]

@@ -16,7 +16,9 @@ shots packed per ``uint64`` word.
 from .backend import BACKENDS, run_batch_frames, validate_backend
 from .packing import (
     bernoulli_words,
+    column_counts,
     pack_bool,
+    popcount_words,
     random_words,
     unpack_words,
     words_for,
@@ -25,6 +27,7 @@ from .program import (
     FrameLoweringError,
     FrameProgram,
     compile_frame_program,
+    fuse_layers,
     supports_noise,
 )
 from .simulator import FrameSimulator
@@ -35,8 +38,11 @@ __all__ = [
     "FrameProgram",
     "FrameSimulator",
     "bernoulli_words",
+    "column_counts",
     "compile_frame_program",
+    "fuse_layers",
     "pack_bool",
+    "popcount_words",
     "random_words",
     "run_batch_frames",
     "supports_noise",

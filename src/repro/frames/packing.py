@@ -46,6 +46,23 @@ def pack_bool(bits: np.ndarray) -> np.ndarray:
     return packed.view(np.uint64)
 
 
+def pack_bool_rows(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(R, B)`` boolean array into ``(R, words_for(B))`` uint64.
+
+    Row-wise :func:`pack_bool`: one ``packbits`` call for a whole layer
+    of masks instead of one per row.  Don't-care tail bits are zero.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ValueError("pack_bool_rows expects a 2-D array")
+    nwords = words_for(bits.shape[1]) if bits.shape[1] else 0
+    packed = np.packbits(bits.astype(np.uint8, copy=False), axis=1,
+                         bitorder="little")
+    if packed.shape[1] < nwords * 8:
+        packed = np.pad(packed, ((0, 0), (0, nwords * 8 - packed.shape[1])))
+    return packed.view(np.uint64)
+
+
 def unpack_words(words: np.ndarray, batch_size: int) -> np.ndarray:
     """Unpack word rows back to per-shot bits.
 
@@ -63,6 +80,52 @@ def unpack_words(words: np.ndarray, batch_size: int) -> np.ndarray:
 def random_words(rng: np.random.Generator, nwords: int) -> np.ndarray:
     """``nwords`` uniformly random uint64 words (one fresh bit per shot)."""
     return np.frombuffer(rng.bytes(int(nwords) * 8), dtype=np.uint64)
+
+
+def popcount_words(words: np.ndarray) -> np.ndarray:
+    """Per-word set-bit counts (uint64 in, int64 out, any shape).
+
+    Word-level popcount is the packed layout's native aggregation: a row
+    of frame/record words reduces to its across-shot event count without
+    ever unpacking to per-shot uint8.  Uses ``numpy.bitwise_count`` when
+    present (numpy >= 2.0), else a byte-table fallback.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(words).astype(np.int64)
+    counts = _BYTE_POPCOUNT[words.view(np.uint8)]
+    return counts.reshape(*words.shape, 8).sum(axis=-1, dtype=np.int64)
+
+
+#: Set-bit counts for every byte value (popcount fallback table).
+_BYTE_POPCOUNT = np.array([bin(i).count("1") for i in range(256)],
+                          dtype=np.int64)
+
+
+def column_counts(planes: np.ndarray, batch_size: int) -> np.ndarray:
+    """Per-shot sums over bit-plane rows: ``(P, W)`` words → ``(B,)`` ints.
+
+    The transpose of :func:`popcount_words` — count, for each shot
+    (column), how many of the ``P`` rows have that bit set.  Computed
+    with bit-sliced vertical counters: rows are added into
+    ``ceil(log2(P+1))`` packed carry planes using whole-word AND/XOR
+    only, so the reduction stays in the packed domain; the counter
+    planes (not the data) are expanded at the end.
+    """
+    planes = np.asarray(planes, dtype=np.uint64)
+    if planes.ndim != 2:
+        raise ValueError("column_counts expects a (P, W) plane stack")
+    counters: list = []  # counters[k] = bit k of the running per-shot sum
+    for row in planes:
+        carry = row
+        for k in range(len(counters)):
+            carry, counters[k] = counters[k] & carry, counters[k] ^ carry
+        if carry.any():
+            counters.append(carry.copy())
+    counts = np.zeros(int(batch_size), dtype=np.int64)
+    for k, plane in enumerate(counters):
+        counts += unpack_words(plane, batch_size).astype(np.int64) << k
+    return counts
 
 
 def bernoulli_words(rng: np.random.Generator, p: float, batch_size: int

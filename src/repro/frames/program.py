@@ -54,7 +54,7 @@ from ..circuits import Circuit, GateType
 from ..noise.base import NoiseModel
 from ..noise.depolarizing import DepolarizingNoise
 from ..noise.erasure import ErasureChannel
-from ..noise.radiation import RadiationChannel
+from ..noise.radiation import RadiationBurst, RadiationChannel
 from ..stabilizer.simulator import TableauSimulator
 
 #: Frame-propagation opcodes (ints for cheap dispatch).
@@ -68,12 +68,43 @@ OP_RESET = 6        # (OP_RESET, qubit) — circuit reset (in the reference too)
 OP_DEPOLARIZE = 7   # (OP_DEPOLARIZE, qubit, p)
 OP_RESET_NOISE = 8  # (OP_RESET_NOISE, qubit, p, x_value|None) — fault reset
 
+#: Fused-layer opcodes: a group of qubit-disjoint same-type ops
+#: collapsed into one vectorised (len(layer), W) kernel sweep.  See
+#: :func:`fuse_layers` for why fused programs sample bit-identically to
+#: their scalar form.
+OP_H_LAYER = 9           # (OP_H_LAYER, qubit_array)
+OP_S_LAYER = 10          # (OP_S_LAYER, qubit_array)
+OP_CX_LAYER = 11         # (OP_CX_LAYER, control_array, target_array)
+OP_CZ_LAYER = 12         # (OP_CZ_LAYER, a_array, b_array)
+OP_SWAP_LAYER = 13       # (OP_SWAP_LAYER, a_array, b_array)
+OP_MEASURE_LAYER = 14    # (OP_MEASURE_LAYER, qubit_array, cbit_array,
+                         #  reference_bit_array)
+OP_RESET_LAYER = 15      # (OP_RESET_LAYER, qubit_array)
+OP_DEPOLARIZE_LAYER = 16  # (OP_DEPOLARIZE_LAYER, qubit_array, p_array)
+
+#: Scalar opcode → its fused-layer twin.
+_LAYER_OF = {OP_H: OP_H_LAYER, OP_S: OP_S_LAYER, OP_CX: OP_CX_LAYER,
+             OP_CZ: OP_CZ_LAYER, OP_SWAP: OP_SWAP_LAYER,
+             OP_MEASURE: OP_MEASURE_LAYER, OP_RESET: OP_RESET_LAYER,
+             OP_DEPOLARIZE: OP_DEPOLARIZE_LAYER}
+
+#: Opcodes whose execution consumes the shared rng stream.  Their
+#: mutual order is a hard scheduling constraint: permuting any two
+#: would hand each the other's draws.
+_RNG_OPS = frozenset({OP_MEASURE, OP_RESET, OP_DEPOLARIZE, OP_RESET_NOISE})
+
+#: Qubit operands per opcode (slice of the op tuple holding qubits).
+_QUBIT_ARITY = {OP_H: 1, OP_S: 1, OP_CX: 2, OP_CZ: 2, OP_SWAP: 2,
+                OP_MEASURE: 1, OP_RESET: 1, OP_DEPOLARIZE: 1,
+                OP_RESET_NOISE: 1}
+
 #: Pauli gate types: they conjugate frames trivially (phases only).
 _FRAME_TRIVIAL = frozenset({GateType.I, GateType.X, GateType.Y, GateType.Z})
 
 #: Channel types the lowering understands.  Exact type match on purpose:
 #: a subclass overriding ``apply_batch`` would be lowered unfaithfully.
-LOWERABLE_CHANNELS = (DepolarizingNoise, ErasureChannel, RadiationChannel)
+LOWERABLE_CHANNELS = (DepolarizingNoise, ErasureChannel, RadiationChannel,
+                      RadiationBurst)
 
 
 class FrameLoweringError(ValueError):
@@ -119,6 +150,143 @@ class FrameProgram:
                 f"{self.exact_reset_sites}+{self.twirled_reset_sites}t)")
 
 
+#: Smallest group worth a fused rng layer: below this the layer kernel's
+#: fixed overhead (2-D buffers, row loops) beats the scalar ops it
+#: replaces, measured on the d=5 noisy memory program.
+_MIN_RNG_LAYER = 4
+
+
+def _emit_group(code: int, group: List[Tuple], out: List[Tuple]) -> None:
+    """Append one scheduled same-opcode group as a scalar or layer op."""
+    if len(group) == 1 or (code in _RNG_OPS and len(group) < _MIN_RNG_LAYER):
+        out.extend(group)
+        return
+    if code == OP_MEASURE:
+        out.append((OP_MEASURE_LAYER,
+                    np.array([op[1] for op in group], dtype=np.intp),
+                    np.array([op[2] for op in group], dtype=np.intp),
+                    np.array([op[3] for op in group], dtype=np.uint8)))
+    elif code == OP_RESET:
+        out.append((OP_RESET_LAYER,
+                    np.array([op[1] for op in group], dtype=np.intp)))
+    elif code == OP_DEPOLARIZE:
+        out.append((OP_DEPOLARIZE_LAYER,
+                    np.array([op[1] for op in group], dtype=np.intp),
+                    np.array([op[2] for op in group], dtype=float)))
+    elif _QUBIT_ARITY[code] == 1:
+        out.append((_LAYER_OF[code],
+                    np.array([op[1] for op in group], dtype=np.intp)))
+    else:
+        out.append((_LAYER_OF[code],
+                    np.array([op[1] for op in group], dtype=np.intp),
+                    np.array([op[2] for op in group], dtype=np.intp)))
+
+
+def fuse_layers(ops: List[Tuple]) -> List[Tuple]:
+    """Reschedule a scalar op list into fused ``(k, W)`` kernel sweeps.
+
+    Per-gate execution costs one numpy dispatch per frame row — the
+    dominant cost at campaign block sizes, where a row is all of eight
+    words.  This pass list-schedules the ops under the only two
+    constraints the frame semantics actually impose:
+
+    * **per-qubit order** — ops touching a common qubit never reorder
+      (ops on disjoint qubits always commute as frame maps);
+    * **rng order** — ops that consume the shared rng stream (measure,
+      reset, depolarize, fault reset) keep their exact mutual order, so
+      every draw lands in the same op as in the scalar program.
+
+    Ready ops of one opcode whose qubits are pairwise disjoint are
+    emitted as a single fused layer: a whole stabilisation sweep of CX
+    legs, a round's ancilla measurements, or the depolarize sites
+    behind them collapse into one vectorised op each.  Fused rng layers
+    draw their samples in the scalar order (loops for per-site
+    ``random`` calls; ``Generator.bytes`` streams identically whether
+    pulled per row or in one block), so a fused program's records are
+    **bit-identical** to the unfused program's — fusion is pure
+    scheduling, not approximation.
+    """
+    n = len(ops)
+    if n < 2:
+        return list(ops)
+    succ: List[List[int]] = [[] for _ in range(n)]
+    indeg = [0] * n
+    last_on_qubit: dict = {}
+    last_rng = -1
+    for i, op in enumerate(ops):
+        code = op[0]
+        for q in op[1:1 + _QUBIT_ARITY[code]]:
+            prev = last_on_qubit.get(q, -1)
+            if prev >= 0:
+                succ[prev].append(i)
+                indeg[i] += 1
+            last_on_qubit[q] = i
+        if code in _RNG_OPS:
+            if last_rng >= 0:
+                succ[last_rng].append(i)
+                indeg[i] += 1
+            last_rng = i
+
+    out: List[Tuple] = []
+    ready_cliff: List[int] = []   # program-order indices, kept sorted
+    ready_rng = -1                # at most one (the rng chain head)
+
+    def mark_ready(i: int) -> None:
+        nonlocal ready_rng
+        if ops[i][0] in _RNG_OPS:
+            ready_rng = i
+        else:
+            ready_cliff.append(i)
+
+    def release(i: int) -> None:
+        for j in succ[i]:
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                mark_ready(j)
+
+    for i in range(n):
+        if indeg[i] == 0:
+            mark_ready(i)
+
+    emitted = 0
+    while emitted < n:
+        if ready_cliff:
+            batch, ready_cliff = sorted(ready_cliff), []
+            by_code: dict = {}
+            for i in batch:
+                by_code.setdefault(ops[i][0], []).append(ops[i])
+            for code, group in by_code.items():
+                _emit_group(code, group, out)
+            emitted += len(batch)
+            for i in batch:
+                release(i)
+        else:
+            i = ready_rng
+            ready_rng = -1
+            code = ops[i][0]
+            group = [ops[i]]
+            used = set(ops[i][1:1 + _QUBIT_ARITY[code]])
+            emitted += 1
+            release(i)
+            # Extend along the rng chain while the next op is ready,
+            # same-opcode, and qubit-disjoint with the group (fault
+            # resets stay scalar: their draw count is data-dependent).
+            while (code != OP_RESET_NOISE and ready_rng >= 0
+                   and ops[ready_rng][0] == code):
+                nxt = ops[ready_rng]
+                nq = nxt[1:1 + _QUBIT_ARITY[code]]
+                if any(q in used for q in nq):
+                    break
+                used.update(nq)
+                group.append(nxt)
+                j = ready_rng
+                ready_rng = -1
+                emitted += 1
+                release(j)
+            _emit_group(code, group, out)
+    return out
+
+
 def supports_noise(noise: Optional[NoiseModel]) -> bool:
     """Cheap pre-flight: can every channel be lowered to frame ops?"""
     if noise is None:
@@ -150,6 +318,11 @@ def _lower_channel(channel, gate, sim: TableauSimulator, ops: List[Tuple],
     elif type(channel) is RadiationChannel:
         sites = [(q, float(channel.probs[q])) for q in gate.qubits
                  if q < channel.probs.size and channel.probs[q] > 0.0]
+    elif type(channel) is RadiationBurst:
+        probs = channel.current_probs()
+        sites = ([] if probs is None else
+                 [(q, float(probs[q])) for q in gate.qubits
+                  if q < probs.size and probs[q] > 0.0])
     else:
         raise FrameLoweringError(
             f"noise channel {type(channel).__name__} has no frame lowering")
@@ -185,6 +358,8 @@ def compile_frame_program(circuit: Circuit,
     ops: List[Tuple] = []
     random_cbits: List[int] = []
     reset_counts = [0, 0]  # [exact, twirled]
+    if noise is not None:
+        noise.begin_run()
 
     for gate in circuit:
         gt = gate.gate_type
@@ -222,13 +397,14 @@ def compile_frame_program(circuit: Circuit,
             raise FrameLoweringError(f"unsupported gate type {gt}")
         if noise is not None:
             for channel in noise:
+                channel.observe(gate)
                 if channel.triggers_on(gate):
                     _lower_channel(channel, gate, sim, ops, reset_counts)
 
     return FrameProgram(
         num_qubits=circuit.num_qubits,
         num_cbits=num_cbits,
-        ops=ops,
+        ops=fuse_layers(ops),
         reference_record=ref,
         random_cbits=tuple(random_cbits),
         exact_reset_sites=reset_counts[0],

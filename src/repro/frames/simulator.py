@@ -32,20 +32,29 @@ from .packing import (
     FULL_WORD,
     bernoulli_words,
     pack_bool,
+    pack_bool_rows,
     random_words,
     unpack_words,
     words_for,
 )
 from .program import (
     OP_CX,
+    OP_CX_LAYER,
     OP_CZ,
+    OP_CZ_LAYER,
     OP_DEPOLARIZE,
+    OP_DEPOLARIZE_LAYER,
     OP_H,
+    OP_H_LAYER,
     OP_MEASURE,
+    OP_MEASURE_LAYER,
     OP_RESET,
+    OP_RESET_LAYER,
     OP_RESET_NOISE,
     OP_S,
+    OP_S_LAYER,
     OP_SWAP,
+    OP_SWAP_LAYER,
     FrameProgram,
 )
 
@@ -78,10 +87,12 @@ class FrameSimulator:
         self.rng = rng
         self.x = np.zeros((n, self.num_words), dtype=np.uint64)
         # Uniformly random initial Z frame: stabilises |0...0>, feeds the
-        # random-measurement branches downstream (module docstring).
-        self.z = np.empty((n, self.num_words), dtype=np.uint64)
-        for q in range(n):
-            self.z[q] = random_words(rng, self.num_words)
+        # random-measurement branches downstream (module docstring).  One
+        # (n, W) draw: Generator.bytes streams identically whether pulled
+        # per row or in one call, so the sampled frames match the
+        # historical per-qubit loop bit-for-bit.
+        self.z = random_words(rng, n * self.num_words).reshape(
+            n, self.num_words).copy()
 
     # ------------------------------------------------------------------
     # Frame propagation (conjugation by the ideal Cliffords)
@@ -105,6 +116,66 @@ class FrameSimulator:
     def swap(self, a: int, b: int) -> None:
         self.x[[a, b]] = self.x[[b, a]]
         self.z[[a, b]] = self.z[[b, a]]
+
+    # ------------------------------------------------------------------
+    # Fused layers: one (len(layer), W) kernel sweep per run of
+    # qubit-disjoint same-type Cliffords (the compiler guarantees
+    # disjointness, so fancy-indexed whole-layer ops match the
+    # gate-by-gate semantics exactly — and no rng is involved, so the
+    # sampled streams are unchanged by fusion).
+    # ------------------------------------------------------------------
+    def h_layer(self, qs: np.ndarray) -> None:
+        tmp = self.x[qs].copy()
+        self.x[qs] = self.z[qs]
+        self.z[qs] = tmp
+
+    def s_layer(self, qs: np.ndarray) -> None:
+        self.z[qs] ^= self.x[qs]
+
+    def cx_layer(self, cs: np.ndarray, ts: np.ndarray) -> None:
+        self.x[ts] ^= self.x[cs]
+        self.z[cs] ^= self.z[ts]
+
+    def cz_layer(self, a: np.ndarray, b: np.ndarray) -> None:
+        self.z[a] ^= self.x[b]
+        self.z[b] ^= self.x[a]
+
+    def swap_layer(self, a: np.ndarray, b: np.ndarray) -> None:
+        ab = np.concatenate([a, b])
+        ba = np.concatenate([b, a])
+        self.x[ab] = self.x[ba]
+        self.z[ab] = self.z[ba]
+
+    def measure_layer(self, qs: np.ndarray, refs: np.ndarray) -> np.ndarray:
+        """Fused Z-measure of disjoint qubits; returns ``(k, W)`` words.
+
+        Bit-identical to ``k`` scalar :meth:`measure` calls: reads
+        precede the Z re-randomisation (which never touches X), and the
+        one block draw equals the per-qubit draws concatenated.
+        """
+        out = self.x[qs].copy()
+        out[refs.astype(bool)] ^= FULL_WORD
+        self.z[qs] ^= random_words(
+            self.rng, len(qs) * self.num_words).reshape(len(qs), -1)
+        return out
+
+    def reset_layer(self, qs: np.ndarray) -> None:
+        self.x[qs] = 0
+        self.z[qs] = random_words(
+            self.rng, len(qs) * self.num_words).reshape(len(qs), -1)
+
+    def depolarize_layer(self, qs: np.ndarray, ps: np.ndarray) -> None:
+        """Fused depolarize sites: per-site draws stay in scalar order,
+        mask packing and frame application collapse to one sweep."""
+        u = np.empty((len(qs), self.batch_size))
+        for i in range(len(qs)):
+            u[i] = self.rng.random(self.batch_size)
+        third = ps[:, None] / 3.0
+        mx = pack_bool_rows(u < third)
+        my = pack_bool_rows((u >= third) & (u < 2 * third))
+        mz = pack_bool_rows((u >= 2 * third) & (u < ps[:, None]))
+        self.x[qs] ^= mx | my
+        self.z[qs] ^= mz | my
 
     # ------------------------------------------------------------------
     # Non-unitary ops
@@ -169,13 +240,15 @@ class FrameSimulator:
     # ------------------------------------------------------------------
     # Program execution
     # ------------------------------------------------------------------
-    def run(self, program: FrameProgram) -> np.ndarray:
-        """Execute a compiled program; returns records ``(B, cbits)``.
+    def run_packed(self, program: FrameProgram) -> np.ndarray:
+        """Execute a compiled program; returns record *words*.
 
-        The record layout matches
-        :meth:`repro.stabilizer.batch.BatchTableauSimulator.run` /
-        :func:`repro.noise.executor.run_batch_noisy`, so decoders and
-        experiments consume either backend's output unchanged.
+        The ``(num_cbits, W)`` uint64 result is the backend's native
+        output: cbit ``c``'s per-shot outcomes bit-packed 64 shots per
+        word.  Frame-native consumers (the :mod:`repro.detect` streaming
+        detector) reduce these words directly — popcount, bit-sliced
+        counters, whole-word XOR — without ever materialising per-shot
+        uint8 records.
         """
         if program.num_qubits > self.n:
             raise ValueError("program wider than simulator register")
@@ -185,26 +258,53 @@ class FrameSimulator:
             code = op[0]
             if code == OP_CX:
                 self.cx(op[1], op[2])
+            elif code == OP_CX_LAYER:
+                self.cx_layer(op[1], op[2])
             elif code == OP_H:
                 self.h(op[1])
+            elif code == OP_H_LAYER:
+                self.h_layer(op[1])
             elif code == OP_MEASURE:
                 record_words[op[2]] = self.measure(op[1], op[3])
+            elif code == OP_MEASURE_LAYER:
+                record_words[op[2]] = self.measure_layer(op[1], op[3])
             elif code == OP_DEPOLARIZE:
                 self.depolarize(op[1], op[2])
+            elif code == OP_DEPOLARIZE_LAYER:
+                self.depolarize_layer(op[1], op[2])
             elif code == OP_RESET_NOISE:
                 self.reset_noise(op[1], op[2], op[3])
             elif code == OP_RESET:
                 self.reset(op[1])
+            elif code == OP_RESET_LAYER:
+                self.reset_layer(op[1])
             elif code == OP_CZ:
                 self.cz(op[1], op[2])
+            elif code == OP_CZ_LAYER:
+                self.cz_layer(op[1], op[2])
             elif code == OP_S:
                 self.s(op[1])
+            elif code == OP_S_LAYER:
+                self.s_layer(op[1])
             elif code == OP_SWAP:
                 self.swap(op[1], op[2])
+            elif code == OP_SWAP_LAYER:
+                self.swap_layer(op[1], op[2])
             else:  # pragma: no cover - compiler emits no other opcodes
                 raise NotImplementedError(f"opcode {code}")
+        return record_words
+
+    def run(self, program: FrameProgram) -> np.ndarray:
+        """Execute a compiled program; returns records ``(B, cbits)``.
+
+        The record layout matches
+        :meth:`repro.stabilizer.batch.BatchTableauSimulator.run` /
+        :func:`repro.noise.executor.run_batch_noisy`, so decoders and
+        experiments consume either backend's output unchanged.  Use
+        :meth:`run_packed` to keep the records in the packed domain.
+        """
         return np.ascontiguousarray(
-            unpack_words(record_words, self.batch_size).T)
+            unpack_words(self.run_packed(program), self.batch_size).T)
 
     # ------------------------------------------------------------------
     # Introspection (tests / debugging)

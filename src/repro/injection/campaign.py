@@ -42,6 +42,7 @@ from ..frames import (
     FrameProgram,
     FrameSimulator,
     compile_frame_program,
+    unpack_words,
 )
 from ..noise import (
     DepolarizingNoise,
@@ -96,15 +97,35 @@ def _build_noise(task: InjectionTask, experiment: MemoryExperiment
             distances = graph.distances_from(fault.root_qubit)
             nq = graph.num_qubits
         else:
-            # No architecture: faults spread over the circuit's own qubit
-            # line (unit distance per index step) — mainly for tests.
             nq = experiment.circuit.num_qubits
-            distances = {q: abs(q - fault.root_qubit) for q in range(nq)}
-        event = RadiationEvent(
-            root_qubit=fault.root_qubit, distances=distances, num_qubits=nq,
-            gamma=fault.gamma, n=fault.spatial_n,
-            num_samples=fault.num_samples, spread=fault.spread)
-        channels.append(event.channel(fault.time_index))
+            positions = (experiment.code.qubit_positions()
+                         if fault.strike_round >= 0 else None)
+            # Burst scenarios without an architecture spread over the
+            # code's own planar embedding (device ~ lattice); legacy
+            # static faults keep the qubit-line metric (mainly tests).
+            distances = None if positions is not None else {
+                q: abs(q - fault.root_qubit) for q in range(nq)}
+        model_kwargs = dict(gamma=fault.gamma, n=fault.spatial_n,
+                            num_samples=fault.num_samples,
+                            spread=fault.spread)
+        if distances is not None:
+            event = RadiationEvent(
+                root_qubit=fault.root_qubit, distances=distances,
+                num_qubits=nq, **model_kwargs)
+        else:
+            event = RadiationEvent.from_positions(
+                fault.root_qubit, positions, **model_kwargs)
+        if fault.strike_round >= 0:
+            if fault.strike_round >= task.rounds:
+                raise ValueError(
+                    f"strike_round {fault.strike_round} outside the "
+                    f"{task.rounds}-round experiment")
+            channels.append(event.burst(
+                fault.strike_round,
+                max(1, experiment.code.measures_per_round),
+                scale=fault.intensity))
+        else:
+            channels.append(event.channel(fault.time_index))
     elif fault.kind == "erasure":
         channels.append(ErasureChannel(fault.qubits, fault.probability))
     if task.intrinsic_p > 0:
@@ -175,6 +196,12 @@ def iter_task_chunks(task: InjectionTask,
     experiment, decoder, _ = _prepared(
         task.code, task.rounds, task.basis, task.arch, task.layout,
         task.decoder, task.readout)
+    adaptive_decoder = task.recovery != "static"
+    if adaptive_decoder:
+        # Imported lazily (repro.detect sits above the decoder layer).
+        from ..detect.recovery import BurstAdaptiveDecoder
+
+        decoder = BurstAdaptiveDecoder(decoder, policy=task.recovery)
     noise = _build_noise(task, experiment)
     # Backend resolution happens once per task: the frame program (the
     # reference pass + lowered noise) is shared by every block below.
@@ -189,13 +216,23 @@ def iter_task_chunks(task: InjectionTask,
             size = min(SIM_BLOCK, end - block)
             rng = np.random.default_rng(
                 block_seed(task.seed, block // SIM_BLOCK))
+            record_words = None
             if program is not None:
-                records = FrameSimulator(experiment.circuit.num_qubits,
-                                         size, rng=rng).run(program)
+                sim = FrameSimulator(experiment.circuit.num_qubits,
+                                     size, rng=rng)
+                record_words = sim.run_packed(program)
+                records = np.ascontiguousarray(
+                    unpack_words(record_words, size).T)
             else:
                 records = run_batch_noisy(experiment.circuit, noise, size,
                                           rng=rng, backend="tableau")
-            decoded = decoder.decode_batch(experiment, records)
+            if adaptive_decoder:
+                # Frame-native detection: the packed record words feed
+                # the streaming detector without an unpack.
+                decoded = decoder.decode_batch(experiment, records,
+                                               record_words=record_words)
+            else:
+                decoded = decoder.decode_batch(experiment, records)
             readout = experiment.raw_readout(records)
             errors += decoded.num_errors
             raw += int(np.count_nonzero(readout != experiment.expected_logical))
@@ -315,34 +352,39 @@ class Campaign:
     def __len__(self) -> int:
         return len(self.tasks)
 
-    def _seeded(self, backend: Optional[str] = None) -> List[InjectionTask]:
+    def _seeded(self, backend: Optional[str] = None,
+                recovery: Optional[str] = None) -> List[InjectionTask]:
         out = []
         for i, t in enumerate(self.tasks):
             if t.seed == 0:
                 t = dataclasses.replace(t, seed=task_seed(self.root_seed, i))
             if backend is not None and t.backend != backend:
                 t = dataclasses.replace(t, backend=backend)
+            if recovery is not None and t.recovery != recovery:
+                t = dataclasses.replace(t, recovery=recovery)
             out.append(t)
         return out
 
     def banked(self, store: Union[CampaignStore, str, None],
                adaptive: Optional[AdaptivePolicy] = None,
-               backend: Optional[str] = None) -> int:
+               backend: Optional[str] = None,
+               recovery: Optional[str] = None) -> int:
         """How many of *this campaign's* points a resume would skip
         (store files are shared across campaigns, so ``len(store)``
-        over-counts).  Pass the same ``backend`` override as the run:
-        it participates in the task key."""
+        over-counts).  Pass the same ``backend``/``recovery`` overrides
+        as the run: both participate in the task key."""
         store = CampaignStore.coerce(store)
         if store is None:
             return 0
-        return sum(1 for t in self._seeded(backend)
+        return sum(1 for t in self._seeded(backend, recovery)
                    if _reusable(store.result_for(t), adaptive))
 
     def run(self, max_workers: Optional[int] = None,
             chunk_shots: Optional[int] = None,
             adaptive: Optional[AdaptivePolicy] = None,
             resume: Union[CampaignStore, str, None] = None,
-            backend: Optional[str] = None) -> ResultSet:
+            backend: Optional[str] = None,
+            recovery: Optional[str] = None) -> ResultSet:
         """Run all tasks; ``max_workers=1`` forces serial execution.
 
         ``resume`` — a :class:`CampaignStore` (or its path): completed
@@ -355,8 +397,10 @@ class Campaign:
         carries its own).  ``backend`` overrides every task's simulation
         backend ("auto"/"frames"/"tableau"); since the backend is part
         of the task identity, stores keep per-backend results distinct.
+        ``recovery`` likewise overrides every task's burst-recovery
+        policy ("static"/"reweight"/"discard_window").
         """
-        seeded = self._seeded(backend)
+        seeded = self._seeded(backend, recovery)
         store = CampaignStore.coerce(resume)
         results: List[Optional[InjectionResult]] = [None] * len(seeded)
         todo: List[int] = []

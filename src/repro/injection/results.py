@@ -121,6 +121,7 @@ class InjectionResult:
             "swaps": self.swap_count,
             "seed": self.task.seed,
             "backend": self.task.backend,
+            "recovery": self.task.recovery,
         }
         row.update(dict(self.task.tags))
         return row

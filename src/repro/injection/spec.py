@@ -80,6 +80,16 @@ class FaultSpec:
         ``root_qubit``, evaluated at temporal sample ``time_index``;
         ``"erasure"`` — fixed-probability resets on ``qubits`` with no
         spatial evolution (Figs. 6-7).
+
+    strike_round:
+        ``-1`` (default) freezes the radiation transient at one
+        temporal sample for the whole circuit — the paper's per-sample
+        sweep.  A value ``>= 0`` switches to the *streaming-detection
+        scenario*: the circuit runs clean until that syndrome round,
+        then the strike lands and decays one temporal sample per round
+        (:class:`~repro.noise.radiation.RadiationBurst`);
+        ``time_index`` is ignored.  ``intensity`` scales the deposited
+        energy (1.0 = the paper's full strike).
     """
 
     kind: str = "none"
@@ -91,14 +101,21 @@ class FaultSpec:
     gamma: float = 10.0
     spatial_n: float = 1.0
     num_samples: int = 10
+    strike_round: int = -1
+    intensity: float = 1.0
 
     def __post_init__(self) -> None:
         if self.kind not in ("none", "radiation", "erasure"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
-        if self.kind == "radiation" and not 0 <= self.time_index < self.num_samples:
+        if self.kind == "radiation" and self.strike_round < 0 \
+                and not 0 <= self.time_index < self.num_samples:
             raise ValueError("time_index outside the sampled window")
         if self.kind == "erasure" and not self.qubits:
             raise ValueError("erasure fault needs target qubits")
+        if self.strike_round >= 0 and self.kind != "radiation":
+            raise ValueError("strike_round only applies to radiation faults")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError("intensity must lie in [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -126,6 +143,13 @@ class InjectionTask:
     #: reference backend.  Part of the task identity (each backend draws
     #: its own random stream), so it participates in the store key.
     backend: str = "auto"
+    #: Burst-recovery policy applied at decode time: "static" decodes
+    #: every shot with the unit-weight graph; "reweight" /
+    #: "discard_window" run the streaming strike detector per batch and
+    #: adapt flagged shots' decoding (:mod:`repro.detect.recovery`).
+    #: Part of the task identity (it changes the counted errors), so it
+    #: participates in the store key.
+    recovery: str = "static"
     shots: int = 2000
     seed: int = 0
     #: Free-form labels propagated into result rows (e.g. sweep axes).
@@ -133,6 +157,14 @@ class InjectionTask:
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
+        # Imported here: repro.detect consumes the decoder/code layers,
+        # which the spec module must stay importable without.
+        from ..detect.recovery import RECOVERY_POLICIES
+
+        if self.recovery not in RECOVERY_POLICIES:
+            raise ValueError(
+                f"unknown recovery policy {self.recovery!r}; expected "
+                f"one of {RECOVERY_POLICIES}")
 
     def with_tags(self, **tags: object) -> "InjectionTask":
         merged = dict(self.tags)
@@ -145,10 +177,18 @@ class InjectionTask:
         if self.arch is not None:
             parts.append(f"@{self.arch.label}")
         if self.fault.kind == "radiation":
-            parts.append(f"rad(q{self.fault.root_qubit},t{self.fault.time_index})")
+            if self.fault.strike_round >= 0:
+                parts.append(f"rad(q{self.fault.root_qubit},"
+                             f"r{self.fault.strike_round}"
+                             f"*{self.fault.intensity:g})")
+            else:
+                parts.append(f"rad(q{self.fault.root_qubit},"
+                             f"t{self.fault.time_index})")
         elif self.fault.kind == "erasure":
             parts.append(f"erase({len(self.fault.qubits)}q)")
         parts.append(f"p={self.intrinsic_p:g}")
+        if self.recovery != "static":
+            parts.append(f"+{self.recovery}")
         return " ".join(parts)
 
 

@@ -21,6 +21,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .results import SIM_BLOCK, ChunkResult, InjectionResult
@@ -29,7 +30,10 @@ from .spec import InjectionTask
 #: Bump when the canonical task serialization changes shape.
 #: v2: InjectionTask grew the ``backend`` field (frame sampling PR) —
 #: the backend selects the random stream, so it must shape the key.
-KEY_VERSION = 2
+#: v3: FaultSpec grew ``strike_round``/``intensity`` and InjectionTask
+#: ``recovery`` (detection PR) — the burst scenario and decode policy
+#: both change a point's counts, so they must shape the key.
+KEY_VERSION = 3
 
 
 def canonical_task(task: InjectionTask) -> Dict[str, object]:
@@ -82,27 +86,44 @@ class CampaignStore:
     # -- reading -------------------------------------------------------
     @staticmethod
     def _iter_records(path: Union[str, os.PathLike]):
-        """Yield the parseable JSON records of one store file."""
+        """Yield the parseable JSON records of one store file.
+
+        Torn final lines (crash mid-write) and undecodable bytes (a
+        shard truncated inside a multi-byte sequence, or a wrong file
+        passed as a shard) terminate the scan with a warning instead of
+        raising — everything parsed up to that point is kept.
+        """
         with open(path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    rec = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn final line from a crash mid-write
-                if isinstance(rec, dict):
-                    yield rec
+            try:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rec = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn final line from a crash mid-write
+                    if isinstance(rec, dict):
+                        yield rec
+            except UnicodeDecodeError:
+                warnings.warn(
+                    f"store file {os.fspath(path)!r} contains undecodable "
+                    f"bytes; keeping the records read so far",
+                    RuntimeWarning, stacklevel=2)
 
     def _load(self) -> None:
         for rec in self._iter_records(self.path):
             kind = rec.get("kind")
-            if kind == "chunk":
-                self._chunks.setdefault(rec["key"], []).append(
-                    ChunkResult.from_row(rec))
-            elif kind == "done":
-                self._done[rec["key"]] = rec
+            try:
+                if kind == "chunk":
+                    self._chunks.setdefault(rec["key"], []).append(
+                        ChunkResult.from_row(rec))
+                elif kind == "done" and "key" in rec:
+                    self._done[rec["key"]] = rec
+            except (KeyError, TypeError, ValueError):
+                warnings.warn(
+                    f"skipping malformed {kind!r} record in {self.path!r}",
+                    RuntimeWarning, stacklevel=2)
 
     def done_record(self, key: str) -> Optional[Dict[str, object]]:
         return self._done.get(key)
@@ -219,8 +240,18 @@ class CampaignStore:
         or an adaptive stop next to a fixed-budget completion — are
         consistent data, deduplicated without a conflict flag.
 
-        Returns a stats dict: ``inputs``, ``done``, ``chunks``,
-        ``duplicate_done``, ``duplicate_chunks``, ``conflicting_done``,
+        Unusable shards degrade gracefully instead of failing the whole
+        merge: a missing, empty or unreadable shard is skipped with a
+        warning (counted in ``skipped_inputs``), a malformed record —
+        wrong types, missing ``key``/``start`` — is dropped with a
+        warning (counted in ``malformed_records``), and a shard
+        truncated mid-byte keeps its parseable prefix.  Losing one
+        host's partial shard must not take down the merge the other
+        hosts' results depend on.
+
+        Returns a stats dict: ``inputs``, ``skipped_inputs``,
+        ``malformed_records``, ``done``, ``chunks``, ``duplicate_done``,
+        ``duplicate_chunks``, ``conflicting_done``,
         ``conflicting_chunks``.
         """
         out_path = os.fspath(out_path)
@@ -229,22 +260,39 @@ class CampaignStore:
         if os.path.exists(out_path) \
                 and os.path.realpath(out_path) not in resolved:
             paths.insert(0, out_path)
-        for p in paths:
-            if not os.path.exists(p):
-                raise FileNotFoundError(f"store shard not found: {p}")
 
         done: Dict[str, Dict[str, object]] = {}
         chunks: Dict[Tuple[str, int], Dict[str, object]] = {}
         order: List[Tuple[str, object]] = []  # ("chunk", ck) / ("done", key)
-        stats = {"inputs": len(paths), "duplicate_done": 0,
+        stats = {"inputs": len(paths), "skipped_inputs": 0,
+                 "malformed_records": 0, "duplicate_done": 0,
                  "duplicate_chunks": 0, "conflicting_done": 0,
                  "conflicting_chunks": 0}
         count_fields = ("errors", "raw_errors", "corrections")
         for path in paths:
-            for rec in cls._iter_records(path):
+            try:
+                records = list(cls._iter_records(path))
+            except OSError as exc:
+                warnings.warn(f"skipping unreadable store shard {path!r}: "
+                              f"{exc}", RuntimeWarning, stacklevel=2)
+                stats["skipped_inputs"] += 1
+                continue
+            if not records:
+                warnings.warn(f"store shard {path!r} holds no usable "
+                              f"records; skipping", RuntimeWarning,
+                              stacklevel=2)
+                stats["skipped_inputs"] += 1
+                continue
+            for rec in records:
                 kind = rec.get("kind")
                 if kind == "done":
-                    key = rec["key"]
+                    key = rec.get("key")
+                    if not isinstance(key, str):
+                        stats["malformed_records"] += 1
+                        warnings.warn(
+                            f"dropping done record without a key in "
+                            f"{path!r}", RuntimeWarning, stacklevel=2)
+                        continue
                     prev = done.get(key)
                     if prev is None:
                         done[key] = rec
@@ -259,7 +307,14 @@ class CampaignStore:
                                 prev.get("shots", 0)):
                             done[key] = rec
                 elif kind == "chunk":
-                    ck = (rec["key"], int(rec["start"]))
+                    try:
+                        ck = (rec["key"], int(rec["start"]))
+                    except (KeyError, TypeError, ValueError):
+                        stats["malformed_records"] += 1
+                        warnings.warn(
+                            f"dropping malformed chunk record in {path!r}",
+                            RuntimeWarning, stacklevel=2)
+                        continue
                     prev = chunks.get(ck)
                     if prev is None:
                         chunks[ck] = rec

@@ -21,7 +21,7 @@ Example spec::
     }
 
 Scalar knobs (``rounds``, ``basis``, ``decoder``, ``readout``,
-``layout``, ``backend``) apply to every task.  Each task is tagged with
+``layout``, ``backend``, ``recovery``) apply to every task.  Each task is tagged with
 its axis coordinates so results group naturally.
 """
 
@@ -36,7 +36,8 @@ from .spec import ArchSpec, CodeSpec, FaultSpec, InjectionTask
 #: loudly on — a silently ignored axis would corrupt a week-long sweep).
 SPEC_KEYS = frozenset({
     "codes", "archs", "faults", "p_values", "shots", "rounds", "basis",
-    "decoder", "readout", "layout", "backend", "root_seed", "tags",
+    "decoder", "readout", "layout", "backend", "recovery", "root_seed",
+    "tags",
 })
 
 
@@ -77,6 +78,9 @@ def _fault(entry: Any) -> FaultSpec:
 def fault_label(fault: FaultSpec) -> str:
     """Short tag value identifying a fault axis entry."""
     if fault.kind == "radiation":
+        if fault.strike_round >= 0:
+            return (f"radiation(q{fault.root_qubit},r{fault.strike_round}"
+                    f"*{fault.intensity:g})")
         return f"radiation(q{fault.root_qubit},t{fault.time_index})"
     if fault.kind == "erasure":
         return f"erasure({','.join(map(str, fault.qubits))})"
@@ -121,6 +125,7 @@ def build_sweep(spec: Mapping[str, Any]) -> Campaign:
         readout=str(spec.get("readout", "ancilla")),
         layout=str(spec.get("layout", "best")),
         backend=str(spec.get("backend", "auto")),
+        recovery=str(spec.get("recovery", "static")),
     )
 
     tasks: List[InjectionTask] = []

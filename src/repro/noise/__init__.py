@@ -5,6 +5,8 @@
   — Eqs. 5-7.
 * :class:`RadiationEvent` / :class:`RadiationChannel` — a particle
   strike on an architecture graph.
+* :class:`RadiationBurst` — the same strike landing mid-run at a
+  syndrome round and decaying round by round (detection scenarios).
 * :class:`ErasureChannel` — non-spreading reset faults (Figs. 6-7).
 * :func:`run_batch_noisy` / :func:`run_single_noisy` — noisy execution.
 """
@@ -17,6 +19,7 @@ from .radiation import (
     DEFAULT_GAMMA,
     DEFAULT_NUM_SAMPLES,
     DEFAULT_SPATIAL_N,
+    RadiationBurst,
     RadiationChannel,
     RadiationEvent,
     sample_times,
@@ -33,6 +36,7 @@ __all__ = [
     "ErasureChannel",
     "run_batch_noisy",
     "run_single_noisy",
+    "RadiationBurst",
     "RadiationChannel",
     "RadiationEvent",
     "temporal_decay",

@@ -37,6 +37,24 @@ class NoiseChannel(abc.ABC):
         non-barrier operations)."""
         return gate.gate_type is not GateType.BARRIER
 
+    def begin_run(self) -> None:
+        """Reset per-run channel state.
+
+        Called once before each walk over the circuit (batched or
+        single-shot execution, frame-program lowering).  Channels whose
+        behaviour depends on circuit *position* — e.g. the
+        round-resolved :class:`~repro.noise.radiation.RadiationBurst` —
+        rewind their position tracking here; stateless channels ignore
+        it.
+        """
+
+    def observe(self, gate: Gate) -> None:
+        """Advance position tracking past ``gate``.
+
+        Called exactly once per (non-barrier) gate per run, before
+        :meth:`triggers_on`, by every executor walk.  Default: no-op.
+        """
+
 
 class NoiseModel:
     """An ordered collection of channels applied after every gate."""
@@ -54,15 +72,23 @@ class NoiseModel:
     def __len__(self) -> int:
         return len(self.channels)
 
+    def begin_run(self) -> None:
+        """Rewind every channel's per-run state (see
+        :meth:`NoiseChannel.begin_run`)."""
+        for ch in self.channels:
+            ch.begin_run()
+
     def apply_batch(self, gate: Gate, sim: BatchTableauSimulator,
                     rng: np.random.Generator) -> None:
         for ch in self.channels:
+            ch.observe(gate)
             if ch.triggers_on(gate):
                 ch.apply_batch(gate, sim, rng)
 
     def apply_single(self, gate: Gate, sim: TableauSimulator,
                      rng: np.random.Generator) -> None:
         for ch in self.channels:
+            ch.observe(gate)
             if ch.triggers_on(gate):
                 ch.apply_single(gate, sim, rng)
 

@@ -84,6 +84,8 @@ def run_batch_noisy(circuit: Circuit, noise: Optional[NoiseModel],
             "noise model has channels without a frame lowering")
     sim = BatchTableauSimulator(circuit.num_qubits, batch_size, rng=rng)
     record = np.zeros((batch_size, max(circuit.num_cbits, 1)), dtype=np.uint8)
+    if noise is not None:
+        noise.begin_run()
     for gate in circuit:
         sim.apply(gate, record=record)
         if noise is not None and gate.gate_type is not GateType.BARRIER:
@@ -98,6 +100,8 @@ def run_single_noisy(circuit: Circuit, noise: Optional[NoiseModel],
     if isinstance(rng, (int, np.integer)) or rng is None:
         rng = np.random.default_rng(rng)
     sim = TableauSimulator(circuit.num_qubits, rng=rng)
+    if noise is not None:
+        noise.begin_run()
     for gate in circuit:
         sim.apply(gate)
         if noise is not None and gate.gate_type is not GateType.BARRIER:

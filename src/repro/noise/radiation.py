@@ -18,7 +18,7 @@ graph into per-time-sample probability vectors;
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -126,6 +126,19 @@ class RadiationEvent:
             dist[self.root_qubit] = 0.0
         self.distances = dist
 
+    @classmethod
+    def from_positions(cls, root_qubit: int,
+                       positions: Dict[int, tuple],
+                       **kwargs) -> "RadiationEvent":
+        """Build an event over a planar half-step embedding (see
+        :meth:`repro.codes.base.StabilizerCode.qubit_positions`):
+        device distance is Manhattan distance over two half-steps."""
+        root = positions[root_qubit]
+        distances = {q: (abs(p[0] - root[0]) + abs(p[1] - root[1])) / 2.0
+                     for q, p in positions.items()}
+        return cls(root_qubit, distances,
+                   num_qubits=max(positions) + 1, **kwargs)
+
     @property
     def times(self) -> np.ndarray:
         return sample_times(self.num_samples)
@@ -148,6 +161,13 @@ class RadiationEvent:
 
     def channel(self, sample_index: int) -> "RadiationChannel":
         return RadiationChannel(self.qubit_probabilities(sample_index))
+
+    def burst(self, strike_round: int, measures_per_round: int,
+              scale: float = 1.0) -> "RadiationBurst":
+        """A round-resolved channel: the strike lands at syndrome round
+        ``strike_round`` and decays one temporal sample per round."""
+        return RadiationBurst(self, strike_round, measures_per_round,
+                              scale=scale)
 
     def __repr__(self) -> str:
         return (f"RadiationEvent(root={self.root_qubit}, gamma={self.gamma}, "
@@ -198,3 +218,104 @@ class RadiationChannel(NoiseChannel):
     def __repr__(self) -> str:
         hot = np.nonzero(self.probs > 0)[0]
         return f"RadiationChannel({hot.size} affected qubits)"
+
+
+class RadiationBurst(NoiseChannel):
+    """A strike that *begins* mid-run and decays round by round.
+
+    :class:`RadiationChannel` freezes the transient at one temporal
+    sample for the whole circuit — the paper's per-sample sweep.  The
+    burst instead models the streaming-detection scenario: the circuit
+    runs clean until syndrome round ``strike_round``, then each later
+    round ``r`` applies the per-qubit reset probabilities of temporal
+    sample ``r - strike_round`` (Eq. 7), clamped to the last sample once
+    the window is exhausted (``T(1) = e^-gamma``, negligible at the
+    paper's ``gamma = 10``).
+
+    The channel tracks its position in the circuit by counting
+    measurement gates through the :meth:`observe` hook — a syndrome
+    round ends with its block of ``measures_per_round`` ancilla
+    measurements, so the count is robust to transpilation (routing
+    preserves measurements) and needs no circuit annotations.
+    :meth:`begin_run` rewinds the count, and every executor walk calls
+    it, so one channel instance serves any number of runs.
+    """
+
+    def __init__(self, event: RadiationEvent, strike_round: int,
+                 measures_per_round: int, scale: float = 1.0) -> None:
+        if strike_round < 0:
+            raise ValueError("strike_round must be non-negative")
+        if measures_per_round < 1:
+            raise ValueError("need at least one measurement per round")
+        if not 0.0 <= scale <= 1.0:
+            raise ValueError("scale must lie in [0, 1]")
+        self.event = event
+        self.strike_round = int(strike_round)
+        self.measures_per_round = int(measures_per_round)
+        #: Deposited-energy scale: multiplies every reset probability.
+        #: 1.0 is the paper's full-intensity strike; smaller values
+        #: model weaker impacts (the detection-ROC intensity axis).
+        self.scale = float(scale)
+        #: Row ``k``: per-qubit reset probabilities of temporal sample k.
+        self.probs = self.scale * np.stack(
+            [event.qubit_probabilities(k)
+             for k in range(event.num_samples)])
+        self._measures_seen = 0
+
+    # -- position tracking ---------------------------------------------
+    def begin_run(self) -> None:
+        self._measures_seen = 0
+
+    def observe(self, gate: Gate) -> None:
+        if gate.gate_type is GateType.MEASURE:
+            self._measures_seen += 1
+
+    @property
+    def current_round(self) -> int:
+        """Syndrome rounds completed at the current circuit position."""
+        return self._measures_seen // self.measures_per_round
+
+    def current_probs(self) -> Optional[np.ndarray]:
+        """Per-qubit reset probabilities now, or ``None`` pre-strike."""
+        k = self.current_round - self.strike_round
+        if k < 0:
+            return None
+        return self.probs[min(k, self.probs.shape[0] - 1)]
+
+    # -- channel interface ---------------------------------------------
+    def triggers_on(self, gate: Gate) -> bool:
+        if gate.gate_type is GateType.BARRIER:
+            return False
+        probs = self.current_probs()
+        if probs is None:
+            return False
+        return any(q < probs.size and probs[q] > 0.0 for q in gate.qubits)
+
+    def apply_batch(self, gate: Gate, sim: BatchTableauSimulator,
+                    rng: np.random.Generator) -> None:
+        probs = self.current_probs()
+        if probs is None:
+            return
+        B = sim.batch_size
+        for q in gate.qubits:
+            p = probs[q] if q < probs.size else 0.0
+            if p <= 0.0:
+                continue
+            mask = rng.random(B) < p
+            if mask.any():
+                sim.reset(q, mask)
+
+    def apply_single(self, gate: Gate, sim: TableauSimulator,
+                     rng: np.random.Generator) -> None:
+        probs = self.current_probs()
+        if probs is None:
+            return
+        for q in gate.qubits:
+            p = probs[q] if q < probs.size else 0.0
+            if p > 0.0 and rng.random() < p:
+                sim.tableau.reset(q, rng)
+
+    def __repr__(self) -> str:
+        return (f"RadiationBurst(root={self.event.root_qubit}, "
+                f"strike_round={self.strike_round}, "
+                f"mpr={self.measures_per_round})")

@@ -535,7 +535,54 @@ class TestStoreMerge:
         assert stats["inputs"] == 2      # existing out joined the merge
         assert stats["done"] == 2
 
-    def test_merge_missing_shard_rejected(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
-            CampaignStore.merge(tmp_path / "out.jsonl",
-                                [tmp_path / "nope.jsonl"])
+    def test_merge_missing_shard_skipped_with_warning(self, tmp_path):
+        """A missing shard must not abort the merge mid-way: it is
+        skipped with a warning so the surviving shards still land."""
+        with pytest.warns(RuntimeWarning, match="unreadable store shard"):
+            stats = CampaignStore.merge(tmp_path / "out.jsonl",
+                                        [tmp_path / "nope.jsonl"])
+        assert stats["skipped_inputs"] == 1
+        assert stats["done"] == 0
+
+    def test_merge_tolerates_empty_and_garbage_shards(self, tmp_path):
+        """Empty and undecodable shards are skipped with warnings while
+        healthy shards merge normally (a host dying mid-write must not
+        take down the fleet's merge)."""
+        tasks = [self.make_task(i) for i in range(2)]
+        good = self.shard(tmp_path, "good.jsonl", tasks)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_bytes(b"\xff\xfe\x00notjson\xff" * 8)
+        out = tmp_path / "merged.jsonl"
+        with pytest.warns(RuntimeWarning):
+            stats = CampaignStore.merge(out, [good, empty, garbage])
+        assert stats["skipped_inputs"] == 2
+        assert stats["done"] == 2
+        assert Campaign(tasks, root_seed=11).banked(CampaignStore(out)) == 2
+
+    def test_merge_drops_malformed_records(self, tmp_path):
+        """Records missing their key/start fields are dropped (and
+        counted) instead of raising mid-merge."""
+        tasks = [self.make_task(0)]
+        good = self.shard(tmp_path, "good.jsonl", tasks)
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "chunk", "shots": 10}\n'
+                       '{"kind": "done", "shots": 10}\n'
+                       '{"kind": "chunk", "key": "k", "start": "zero"}\n')
+        out = tmp_path / "merged.jsonl"
+        with pytest.warns(RuntimeWarning):
+            stats = CampaignStore.merge(out, [good, bad])
+        assert stats["malformed_records"] == 3
+        assert stats["done"] == 1
+
+    def test_truncated_store_load_keeps_prefix(self, tmp_path):
+        """A store truncated inside a multi-byte sequence still loads
+        the records written before the tear."""
+        tasks = [self.make_task(0)]
+        path = self.shard(tmp_path, "s.jsonl", tasks)
+        data = path.read_bytes()
+        path.write_bytes(data + b'{"kind": "done", "key": "\xc3')
+        with pytest.warns(RuntimeWarning, match="undecodable"):
+            store = CampaignStore(path)
+        assert len(store) == 1
