@@ -3,10 +3,16 @@
 
 Produces ``results/figN_*.txt`` / ``.json`` plus ``results/headline.txt``
 — the numbers recorded in EXPERIMENTS.md.
+
+``-j/--workers N`` spreads every campaign across N worker processes via
+the :mod:`repro.parallel` work-stealing scheduler (default: all cores;
+results are bit-identical to a serial run, so recorded numbers never
+depend on the machine that produced them).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
@@ -39,6 +45,15 @@ def save(name: str, text: str, rows=None) -> None:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-j", "--workers", type=int,
+                        default=os.cpu_count() or 1, metavar="N",
+                        help="worker processes for the campaign "
+                             "scheduler (default: all cores)")
+    args = parser.parse_args()
+    workers = max(1, args.workers)
+    print(f"running campaigns with {workers} worker(s)", flush=True)
+
     t_start = time.time()
 
     data3 = fig3_temporal.run()
@@ -53,7 +68,7 @@ def main() -> None:
          data4.radial_profile())
 
     print(f"[{time.time()-t_start:.0f}s] fig5...", flush=True)
-    landscapes = fig5_landscape.run(shots=1200)
+    landscapes = fig5_landscape.run(shots=1200, workers=workers)
     rows5 = []
     for ls in landscapes.values():
         rows5.extend(ls.to_rows())
@@ -61,7 +76,7 @@ def main() -> None:
          title="Fig5 landscape summary"), rows5)
 
     print(f"[{time.time()-t_start:.0f}s] fig6...", flush=True)
-    rows6 = fig6_distance.run(shots=800)
+    rows6 = fig6_distance.run(shots=800, workers=workers)
     save("fig6_distance",
          ascii_table([r.to_row() for r in rows6], title="Fig6 distances")
          + "\n\n" + ascii_table(fig6_distance.bitflip_advantage(rows6),
@@ -69,7 +84,7 @@ def main() -> None:
          [r.to_row() for r in rows6])
 
     print(f"[{time.time()-t_start:.0f}s] fig7...", flush=True)
-    data7 = fig7_spread.run(shots=800)
+    data7 = fig7_spread.run(shots=800, workers=workers)
     rows7 = []
     for d in data7:
         rows7.extend(d.to_rows())
@@ -77,7 +92,7 @@ def main() -> None:
          rows7)
 
     print(f"[{time.time()-t_start:.0f}s] fig8...", flush=True)
-    data8 = fig8_architecture.run(shots=500)
+    data8 = fig8_architecture.run(shots=500, workers=workers)
     rows8 = [d.to_row() for d in data8]
     per_qubit = []
     for d in data8:

@@ -8,6 +8,7 @@ Usage::
     repro fig6 --workers 8 --csv out.csv
     repro fig5 --store fig5.jsonl   # checkpoint / resume the sweep
     repro campaign spec.json --store sweep.jsonl --adaptive 0.2
+    repro campaign spec.json -j 8   # block-level work-stealing scheduler
     repro fig6 --backend tableau    # pin the batched-tableau backend
     repro store merge all.jsonl hostA.jsonl hostB.jsonl
 
@@ -72,6 +73,7 @@ def _engine_kwargs(args) -> dict:
         "adaptive": _policy(args),
         "chunk_shots": getattr(args, "chunk_shots", None),
         "backend": getattr(args, "backend", None),
+        "workers": getattr(args, "jobs", None),
     }
 
 
@@ -187,7 +189,8 @@ def cmd_detect(args) -> None:
         decoder=args.decoder, max_workers=args.workers,
         store=getattr(args, "store", None), adaptive=_policy(args),
         chunk_shots=getattr(args, "chunk_shots", None),
-        backend=getattr(args, "backend", None))
+        backend=getattr(args, "backend", None),
+        workers=getattr(args, "jobs", None))
     _write([p.to_row() for p in roc], args,
            "Detection — ROC / latency / localisation vs strike intensity")
     print()
@@ -210,12 +213,15 @@ def cmd_campaign(args) -> None:
     campaign = build_sweep(spec)
     policy = _policy(args)
     store = CampaignStore(args.store) if args.store else None
+    workers = args.workers
+    if workers is None:
+        workers = campaign.workers or os.cpu_count() or 1
     banked = campaign.banked(store, adaptive=policy, backend=args.backend,
                              recovery=args.recovery)
-    print(f"campaign: {len(campaign)} points"
+    print(f"campaign: {len(campaign)} points, {workers} worker(s)"
           + (f" ({banked} already complete in {args.store})" if store
              else ""))
-    results = campaign.run(max_workers=args.workers,
+    results = campaign.run(workers=workers,
                            chunk_shots=args.chunk_shots,
                            adaptive=policy, resume=store,
                            backend=args.backend,
@@ -240,10 +246,23 @@ def cmd_store(args) -> None:
 
     if args.store_command == "merge":
         stats = CampaignStore.merge(args.out, args.inputs)
-        print(f"merged {stats['inputs']} store(s) into {args.out}: "
-              f"{stats['done']} completed points, {stats['chunks']} chunks"
-              f" ({stats['duplicate_done']} duplicate points, "
-              f"{stats['duplicate_chunks']} duplicate chunks dropped)")
+        if not args.quiet:
+            duplicates = stats["duplicate_done"] + stats["duplicate_chunks"]
+            print(f"merged {stats['inputs']} store(s) into {args.out}: "
+                  f"{stats['done']} completed points, "
+                  f"{stats['chunks']} chunks")
+            print(f"  shards read:        "
+                  f"{stats['inputs'] - stats['skipped_inputs']} of "
+                  f"{stats['inputs']}"
+                  + (f" ({stats['skipped_inputs']} unusable, skipped)"
+                     if stats["skipped_inputs"] else ""))
+            print(f"  records kept:       "
+                  f"{stats['done'] + stats['chunks']} "
+                  f"({stats['done']} done, {stats['chunks']} chunk)")
+            print(f"  duplicates dropped: {duplicates} "
+                  f"({stats['duplicate_done']} done, "
+                  f"{stats['duplicate_chunks']} chunk)")
+            print(f"  malformed skipped:  {stats['malformed_records']}")
         conflicts = stats["conflicting_chunks"] + stats["conflicting_done"]
         if conflicts:
             print(f"warning: {conflicts} duplicate record(s) disagreed "
@@ -269,7 +288,16 @@ COMMANDS = {
 }
 
 
-def _add_engine_options(sub: argparse.ArgumentParser) -> None:
+def _add_engine_options(sub: argparse.ArgumentParser,
+                        jobs_flag: bool = True) -> None:
+    if jobs_flag:
+        sub.add_argument("-j", "--jobs", type=int, default=None,
+                         metavar="N",
+                         help="work-stealing worker processes "
+                              "(block-level parallelism via "
+                              "repro.parallel; counts and adaptive "
+                              "stop shots stay bit-identical to a "
+                              "serial run)")
     sub.add_argument("--store", type=str, default=None,
                      help="JSONL checkpoint file; re-running with the "
                           "same store resumes instead of restarting")
@@ -340,11 +368,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="path to the sweep spec (JSON)")
     camp.add_argument("--shots", type=int, default=None,
                       help="override the spec's per-point shot budget")
-    camp.add_argument("--workers", type=int, default=None,
-                      help="process-pool size (default: all cores)")
+    camp.add_argument("-j", "--workers", type=int, default=None,
+                      metavar="N",
+                      help="worker processes for the work-stealing "
+                           "scheduler (default: the spec's 'workers' "
+                           "key, else all cores; counts are "
+                           "bit-identical for any worker count)")
     camp.add_argument("--csv", type=str, default=None,
                       help="also write result rows to this CSV file")
-    _add_engine_options(camp)
+    _add_engine_options(camp, jobs_flag=False)
     from .detect.recovery import RECOVERY_POLICIES
 
     camp.add_argument("--recovery", type=str, default=None,
@@ -369,6 +401,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "atomically)")
     merge.add_argument("inputs", type=str, nargs="+", metavar="in",
                        help="input store shards")
+    merge.add_argument("--quiet", action="store_true",
+                       help="suppress the compaction summary (conflict "
+                            "warnings still print)")
     return parser
 
 

@@ -34,19 +34,24 @@ def execute(campaign: Campaign, max_workers: Optional[int] = None,
             store: Union[CampaignStore, str, None] = None,
             adaptive: Optional[AdaptivePolicy] = None,
             chunk_shots: Optional[int] = None,
-            backend: Optional[str] = None) -> ResultSet:
+            backend: Optional[str] = None,
+            workers: Optional[int] = None) -> ResultSet:
     """Run a figure campaign through the orchestration engine.
 
     The single funnel every experiment module uses, so campaign-level
     features — chunked streaming, JSONL checkpoint/resume (``store``
     takes a :class:`CampaignStore` or a path), adaptive shot allocation,
     backend selection (``backend="auto"|"frames"|"tableau"``; tasks
-    default to "auto", which prefers the bit-packed Pauli-frame sampler)
-    — apply uniformly to all figures without per-module plumbing.
+    default to "auto", which prefers the bit-packed Pauli-frame sampler),
+    block-level multiprocess scheduling (``workers`` routes >1 through
+    the :mod:`repro.parallel` work-stealing scheduler, bit-identical to
+    serial) — apply uniformly to all figures without per-module
+    plumbing.
     """
     return campaign.run(max_workers=max_workers, chunk_shots=chunk_shots,
                         adaptive=adaptive, backend=backend,
-                        resume=CampaignStore.coerce(store))
+                        resume=CampaignStore.coerce(store),
+                        workers=workers)
 
 
 def fitting_mesh(num_qubits: int, max_cols: int = 6) -> ArchSpec:

@@ -94,11 +94,12 @@ class DistanceRow:
 def run(shots: int = 600, max_workers: Optional[int] = None,
         max_roots: Optional[int] = None, store=None, adaptive=None,
         chunk_shots: Optional[int] = None,
-        backend: Optional[str] = None) -> List[DistanceRow]:
+        backend: Optional[str] = None,
+        workers: Optional[int] = None) -> List[DistanceRow]:
     campaign = build_campaign(shots=shots, max_roots=max_roots)
     results = execute(campaign, max_workers=max_workers, store=store,
                       adaptive=adaptive, chunk_shots=chunk_shots,
-                      backend=backend)
+                      backend=backend, workers=workers)
     rows: List[DistanceRow] = []
     for spec, _ in _configs():
         sub = results.filter_tags(family=spec.kind,

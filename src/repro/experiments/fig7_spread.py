@@ -133,13 +133,14 @@ def run(shots: int = 800, max_workers: Optional[int] = None,
         samples_per_size: int = SAMPLES_PER_SIZE,
         configs=CONFIGS, store=None, adaptive=None,
         chunk_shots: Optional[int] = None,
-        backend: Optional[str] = None) -> List[SpreadData]:
+        backend: Optional[str] = None,
+        workers: Optional[int] = None) -> List[SpreadData]:
     campaign = build_campaign(shots=shots,
                               samples_per_size=samples_per_size,
                               configs=configs)
     results = execute(campaign, max_workers=max_workers, store=store,
                       adaptive=adaptive, chunk_shots=chunk_shots,
-                      backend=backend)
+                      backend=backend, workers=workers)
     out: List[SpreadData] = []
     for code, sizes in configs:
         sub = results.filter_tags(fig="fig7", code=code.label)

@@ -179,7 +179,8 @@ def run(shots: int = 1024, distance: int = DEFAULT_DISTANCE,
         strike_round: int = DEFAULT_STRIKE_ROUND,
         intensity: float = 1.0, decoder: str = "mwpm",
         max_workers: Optional[int] = None, store=None, adaptive=None,
-        chunk_shots: Optional[int] = None, backend: Optional[str] = None
+        chunk_shots: Optional[int] = None, backend: Optional[str] = None,
+        workers: Optional[int] = None
         ) -> Tuple[List[RocPoint], List[Dict[str, object]]]:
     """Both panels at one call (the ``repro detect`` CLI entry).
 
@@ -194,5 +195,5 @@ def run(shots: int = 1024, distance: int = DEFAULT_DISTANCE,
                               decoder=decoder)
     results = execute(campaign, max_workers=max_workers, store=store,
                       adaptive=adaptive, chunk_shots=chunk_shots,
-                      backend=backend)
+                      backend=backend, workers=workers)
     return roc, policy_rows(results)

@@ -55,10 +55,12 @@ class RoundsRow:
 
 def run(shots: int = 1000, max_workers: Optional[int] = None,
         rounds_list: Sequence[int] = ROUND_COUNTS, store=None,
-        adaptive=None, chunk_shots: Optional[int] = None) -> List[RoundsRow]:
+        adaptive=None, chunk_shots: Optional[int] = None,
+        workers: Optional[int] = None) -> List[RoundsRow]:
     results = execute(build_campaign(shots=shots, rounds_list=rounds_list),
                       max_workers=max_workers, store=store,
-                      adaptive=adaptive, chunk_shots=chunk_shots)
+                      adaptive=adaptive, chunk_shots=chunk_shots,
+                      workers=workers)
     rows = []
     for rounds in rounds_list:
         sub = results.filter_tags(rounds=rounds)

@@ -1,6 +1,6 @@
 """Quantum fault-injection toolkit (the paper's §III contribution)."""
 
-from .adaptive import AdaptivePolicy
+from .adaptive import DECISION_SHOTS, AdaptivePolicy
 from .campaign import (
     DEFAULT_CHUNK_SHOTS,
     SIM_BLOCK,
@@ -16,6 +16,7 @@ from .sweep import build_sweep, sweep_size
 __all__ = [
     "AdaptivePolicy",
     "Campaign",
+    "DECISION_SHOTS",
     "CampaignStore",
     "ChunkResult",
     "DEFAULT_CHUNK_SHOTS",

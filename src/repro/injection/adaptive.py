@@ -8,18 +8,29 @@ An :class:`AdaptivePolicy` instead keeps sampling a point — one chunk
 at a time — until its Wilson interval is tight enough relative to the
 measured rate, or a shot ceiling is reached.
 
-Stopping decisions depend only on the cumulative ``(errors, shots)``
-at chunk boundaries, and chunk streams are seeded deterministically
-from the task seed, so adaptive runs are exactly reproducible and
-resumable mid-point.
+Stopping decisions are **watermark-based**: the policy is consulted
+only when the cumulative shot count crosses a fixed decision threshold
+(a multiple of :data:`DECISION_SHOTS`, block-aligned), and each
+decision is a pure function of the cumulative ``(errors, shots)`` at
+that threshold.  Chunk streams are seeded deterministically from the
+task seed and blocks are canonical, so the prefix counts at any
+watermark — and therefore the stop shot — are identical however the
+run was scheduled: serial, chunked coarser or finer, interrupted and
+resumed, or spread across N workers by :mod:`repro.parallel`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
-from .results import wilson_interval
+from .results import SIM_BLOCK, wilson_interval
+
+#: Default decision-watermark spacing, in shots.  Matches the engine's
+#: default chunk so plain sequential runs behave as before; what matters
+#: is that it is *fixed per policy*, not inherited from however the
+#: caller happened to chunk the stream.
+DECISION_SHOTS = 2 * SIM_BLOCK
 
 
 @dataclass(frozen=True)
@@ -43,6 +54,10 @@ class AdaptivePolicy:
         bound and simply finish early when the target is met.
     z:
         Normal quantile of the interval (1.96 → 95%).
+    decision_shots:
+        Watermark spacing: the policy is evaluated at multiples of this
+        shot count (rounded up to whole simulation blocks) plus the
+        ceiling itself, regardless of chunking or worker count.
     """
 
     rel_halfwidth: float = 0.25
@@ -51,16 +66,46 @@ class AdaptivePolicy:
     min_errors: int = 5
     max_shots: Optional[int] = None
     z: float = 1.96
+    decision_shots: int = DECISION_SHOTS
 
     def __post_init__(self) -> None:
         if self.rel_halfwidth <= 0:
             raise ValueError("rel_halfwidth must be positive")
         if self.min_shots < 1:
             raise ValueError("min_shots must be at least 1")
+        if self.decision_shots < 1:
+            raise ValueError("decision_shots must be at least 1")
 
     def ceiling(self, task_shots: int) -> int:
         """The hard shot cap for a task."""
         return task_shots if self.max_shots is None else int(self.max_shots)
+
+    @property
+    def decision_step(self) -> int:
+        """Watermark spacing rounded up to whole simulation blocks."""
+        return -(-self.decision_shots // SIM_BLOCK) * SIM_BLOCK
+
+    def next_watermark(self, shots: int, task_shots: int) -> int:
+        """First decision point strictly past ``shots`` (≤ the ceiling).
+
+        Execution proceeds watermark to watermark: a segment's counts
+        are banked, the policy is evaluated at its end, and only then
+        may sampling stop — so the stop shot is a pure function of the
+        canonical block stream, never of chunk sizes or schedules.
+        """
+        ceiling = self.ceiling(task_shots)
+        if shots >= ceiling:
+            return ceiling
+        step = self.decision_step
+        return min((shots // step + 1) * step, ceiling)
+
+    def watermarks(self, start: int, task_shots: int) -> Iterator[int]:
+        """The decision points in ``(start, ceiling]``, ascending."""
+        pos = start
+        ceiling = self.ceiling(task_shots)
+        while pos < ceiling:
+            pos = self.next_watermark(pos, task_shots)
+            yield pos
 
     def satisfied(self, errors: int, shots: int) -> bool:
         """True when ``(errors, shots)`` meets the precision target."""

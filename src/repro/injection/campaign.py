@@ -163,6 +163,24 @@ def _frame_program(task: InjectionTask, experiment: MemoryExperiment,
     return program
 
 
+@lru_cache(maxsize=64)
+def _task_context(task: InjectionTask):
+    """Worker-side cache of everything a chunk execution needs.
+
+    ``(experiment, base decoder, noise model, frame program)`` depend
+    only on the task spec, so they are shared by every chunk of the
+    task — crucial for the parallel scheduler, whose workers execute a
+    task's blocks one small lease at a time: without this cache each
+    lease would re-run the reference pass and noise lowering.
+    """
+    experiment, decoder, _ = _prepared(
+        task.code, task.rounds, task.basis, task.arch, task.layout,
+        task.decoder, task.readout)
+    noise = _build_noise(task, experiment)
+    program = _frame_program(task, experiment, noise)
+    return experiment, decoder, noise, program
+
+
 def _normalize_chunk(chunk_shots: Optional[int]) -> int:
     """Round a requested chunk size up to a whole number of blocks."""
     if chunk_shots is None:
@@ -193,19 +211,16 @@ def iter_task_chunks(task: InjectionTask,
         raise ValueError(
             f"start_shot {start_shot} is not on a {SIM_BLOCK}-shot "
             f"block boundary")
-    experiment, decoder, _ = _prepared(
-        task.code, task.rounds, task.basis, task.arch, task.layout,
-        task.decoder, task.readout)
+    # Backend resolution happens once per task: the frame program (the
+    # reference pass + lowered noise) is shared by every block of every
+    # chunk, across however many calls schedule them.
+    experiment, decoder, noise, program = _task_context(task)
     adaptive_decoder = task.recovery != "static"
     if adaptive_decoder:
         # Imported lazily (repro.detect sits above the decoder layer).
         from ..detect.recovery import BurstAdaptiveDecoder
 
         decoder = BurstAdaptiveDecoder(decoder, policy=task.recovery)
-    noise = _build_noise(task, experiment)
-    # Backend resolution happens once per task: the frame program (the
-    # reference pass + lowered noise) is shared by every block below.
-    program = _frame_program(task, experiment, noise)
     pos = start_shot
     while pos < total:
         t0 = time.perf_counter()
@@ -267,18 +282,31 @@ def run_task(task: InjectionTask,
     ``prior`` — ``(shots, errors, raw_errors, corrections, elapsed_s,
     chunks)`` already banked for this point (store resume); execution
     continues at the next block boundary.  With an ``adaptive`` policy
-    the point stops at the first chunk boundary where the precision
-    target is met, capped at ``adaptive.ceiling(task.shots)``; otherwise
+    the point runs watermark segment by watermark segment and stops at
+    the first decision threshold where the precision target is met,
+    capped at ``adaptive.ceiling(task.shots)`` — the stop shot depends
+    only on the canonical block stream, never on ``chunk_shots`` (which
+    keeps its role as checkpoint granularity within a segment) or on
+    how a parallel scheduler interleaved the work.  Without a policy
     exactly ``task.shots`` run.  ``on_chunk`` fires after each finished
     chunk (serial checkpoint streaming).
     """
     shots, errors, raw, corr, elapsed, nchunks = prior
     target = adaptive.ceiling(task.shots) if adaptive else task.shots
-    if not (adaptive and adaptive.should_stop(errors, shots, task.shots)) \
-            and shots < target:
+    while shots < target:
+        # Decisions fire only ON the watermark grid: a prior that
+        # happens to sit between watermarks (e.g. a fine-grained
+        # checkpoint) resumes sampling to the next watermark first, so
+        # the evaluated prefixes — and the stop shot — match an
+        # uninterrupted run exactly.
+        if adaptive and shots % adaptive.decision_step == 0 and shots \
+                and adaptive.should_stop(errors, shots, task.shots):
+            break
+        segment_end = (adaptive.next_watermark(shots, task.shots)
+                       if adaptive else target)
         for chunk in iter_task_chunks(task, chunk_shots=chunk_shots,
                                       start_shot=shots,
-                                      total_shots=target):
+                                      total_shots=segment_end):
             shots = chunk.end
             errors += chunk.errors
             raw += chunk.raw_errors
@@ -287,9 +315,49 @@ def run_task(task: InjectionTask,
             nchunks += 1
             if on_chunk is not None:
                 on_chunk(chunk)
-            if adaptive and adaptive.should_stop(errors, shots, task.shots):
-                break
     return _assemble(task, shots, errors, raw, corr, elapsed, nchunks)
+
+
+def _replay_prior(store: CampaignStore, key: str,
+                  adaptive: Optional[AdaptivePolicy],
+                  task_shots: int) -> Tuple[int, int, int, int, float, int]:
+    """The resumable prior for one point, policy decisions replayed.
+
+    Without a policy this is :meth:`CampaignStore.partial`.  With one,
+    banked chunks are consumed in contiguous order while re-evaluating
+    the stopping rule at each watermark, so the prior ends exactly
+    where an uninterrupted adaptive run would have stopped — a store
+    may legitimately hold chunks *past* that point (a parallel
+    worker's speculative in-flight leases land in its shard before the
+    stop decision; a fixed-budget run banks the whole budget) and they
+    must not drag the resumed stop shot forward.  A banked chunk that
+    straddles an undecided watermark (coarser ``chunk_shots`` than the
+    decision grid) is not consumed: its counts at the watermark are
+    unrecoverable, so the engine re-samples from the last aligned
+    boundary instead — canonical blocks make the re-run bit-identical.
+    """
+    if adaptive is None:
+        return store.partial(key)
+    shots = errors = raw = corr = nchunks = 0
+    elapsed = 0.0
+    ceiling = adaptive.ceiling(task_shots)
+    for chunk in store.chunks_for(key):
+        if chunk.start != shots or shots >= ceiling:
+            break
+        boundary = adaptive.next_watermark(shots, task_shots)
+        if chunk.end > boundary or (chunk.end % SIM_BLOCK
+                                    and chunk.end < ceiling):
+            break
+        shots = chunk.end
+        errors += chunk.errors
+        raw += chunk.raw_errors
+        corr += chunk.corrections_applied
+        elapsed += chunk.elapsed_s
+        nchunks += 1
+        if shots >= boundary and adaptive.should_stop(errors, shots,
+                                                      task_shots):
+            break
+    return shots, errors, raw, corr, elapsed, nchunks
 
 
 def _reusable(banked: Optional[InjectionResult],
@@ -336,12 +404,17 @@ class Campaign:
         Seeds every task missing an explicit non-zero seed, derived
         per-index via ``SeedSequence`` so the campaign is reproducible
         under any parallel schedule.
+    workers:
+        Default worker count for :meth:`run` (the sweep-spec
+        ``"workers"`` key); ``None`` leaves the choice to the caller.
     """
 
     def __init__(self, tasks: Optional[Iterable[InjectionTask]] = None,
-                 root_seed: int = 2024) -> None:
+                 root_seed: int = 2024,
+                 workers: Optional[int] = None) -> None:
         self.tasks: List[InjectionTask] = list(tasks or [])
         self.root_seed = int(root_seed)
+        self.workers = None if workers is None else int(workers)
 
     def add(self, task: InjectionTask) -> None:
         self.tasks.append(task)
@@ -384,8 +457,18 @@ class Campaign:
             adaptive: Optional[AdaptivePolicy] = None,
             resume: Union[CampaignStore, str, None] = None,
             backend: Optional[str] = None,
-            recovery: Optional[str] = None) -> ResultSet:
+            recovery: Optional[str] = None,
+            workers: Optional[int] = None) -> ResultSet:
         """Run all tasks; ``max_workers=1`` forces serial execution.
+
+        ``workers`` — hand the campaign to the :mod:`repro.parallel`
+        work-stealing scheduler with that many worker processes
+        (``None`` falls back to the campaign's own ``workers`` default,
+        e.g. from a sweep spec).  Unlike the legacy point-level pool
+        (``max_workers``), the scheduler splits *within* tasks at
+        simulation-block granularity, so even a single deep point
+        scales across cores; counts and adaptive stop shots are
+        bit-identical to a serial run.
 
         ``resume`` — a :class:`CampaignStore` (or its path): completed
         points are reconstructed from the checkpoint instead of re-run,
@@ -402,6 +485,23 @@ class Campaign:
         """
         seeded = self._seeded(backend, recovery)
         store = CampaignStore.coerce(resume)
+        if workers is None and max_workers is None:
+            # The sweep-spec default fills in only when the caller
+            # expressed no preference: an explicit max_workers=1 (the
+            # documented serial switch) must never be overridden into
+            # a process fleet by a spec's "workers" key.
+            workers = self.workers
+        use_scheduler = workers is not None and int(workers) > 1
+        if workers is not None and int(workers) == 1:
+            max_workers = 1     # "one process total" — serial streaming
+        if store is not None:
+            # A crashed parallel run leaves per-worker shards next to
+            # the store; fold them in before computing priors —
+            # whatever mode this resume runs in — so no completed
+            # chunk is ever re-sampled.
+            from ..parallel import absorb_stale_shards
+
+            absorb_stale_shards(store)
         results: List[Optional[InjectionResult]] = [None] * len(seeded)
         todo: List[int] = []
         payloads = []
@@ -414,9 +514,21 @@ class Campaign:
                 if _reusable(banked, adaptive):
                     results[i] = banked
                     continue
-                prior = store.partial(keys[i])
+                prior = _replay_prior(store, keys[i], adaptive, t.shots)
             todo.append(i)
             payloads.append((t, chunk_shots, adaptive, prior))
+
+        if use_scheduler and payloads:
+            from ..parallel import WorkStealingScheduler
+
+            scheduler = WorkStealingScheduler(
+                int(workers), chunk_shots=chunk_shots, adaptive=adaptive,
+                store=store)
+            for i, result in zip(todo, scheduler.run(
+                    [seeded[i] for i in todo],
+                    priors=[p[3] for p in payloads])):
+                results[i] = result
+            return ResultSet(results)
 
         if store is not None and (max_workers == 1 or len(payloads) <= 1):
             # Serial + store: stream every chunk straight to the

@@ -7,8 +7,9 @@ stable hash of the task spec, so ``Campaign.run(resume=store)`` skips
 completed points, continues partially-sampled ones at the next chunk
 boundary, and — because chunk streams are seeded deterministically —
 produces bit-identical counts to an uninterrupted run with the same
-settings (adaptive stopping decisions happen at chunk boundaries, so
-resume adaptive sweeps with the same policy and ``chunk_shots``).
+settings (adaptive stopping decisions happen at fixed shot watermarks
+independent of chunking or worker count, so resume adaptive sweeps
+with the same policy).
 
 The format is deliberately dumb: one self-describing JSON object per
 line, tolerant of a torn final line after a crash, diffable, and
@@ -334,6 +335,24 @@ class CampaignStore:
                 rec = chunks[ref] if kind == "chunk" else done[ref]
                 fh.write(json.dumps(rec, sort_keys=True, default=str) + "\n")
         os.replace(tmp_path, out_path)
+        return stats
+
+    def absorb_shards(self, shard_paths: Sequence[Union[str, os.PathLike]]
+                      ) -> Dict[str, int]:
+        """Merge per-worker shards into this store, in place.
+
+        The parallel scheduler's end-of-campaign (and stale-shard
+        recovery) path: closes the append handle, runs :meth:`merge`
+        with this store as the implicit first input, then reloads the
+        in-memory indexes from the merged file so the object keeps
+        working for resume queries afterwards.  Returns merge stats.
+        """
+        self.close()
+        stats = CampaignStore.merge(self.path, shard_paths)
+        self._chunks.clear()
+        self._done.clear()
+        if os.path.exists(self.path):
+            self._load()
         return stats
 
     def close(self) -> None:

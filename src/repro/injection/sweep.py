@@ -21,8 +21,11 @@ Example spec::
     }
 
 Scalar knobs (``rounds``, ``basis``, ``decoder``, ``readout``,
-``layout``, ``backend``, ``recovery``) apply to every task.  Each task is tagged with
-its axis coordinates so results group naturally.
+``layout``, ``backend``, ``recovery``) apply to every task.  A
+``"workers"`` key sets the campaign's default worker-process count
+(``Campaign.run`` routes >1 through the :mod:`repro.parallel`
+work-stealing scheduler; counts stay bit-identical either way).  Each
+task is tagged with its axis coordinates so results group naturally.
 """
 
 from __future__ import annotations
@@ -37,7 +40,7 @@ from .spec import ArchSpec, CodeSpec, FaultSpec, InjectionTask
 SPEC_KEYS = frozenset({
     "codes", "archs", "faults", "p_values", "shots", "rounds", "basis",
     "decoder", "readout", "layout", "backend", "recovery", "root_seed",
-    "tags",
+    "tags", "workers",
 })
 
 
@@ -139,7 +142,9 @@ def build_sweep(spec: Mapping[str, Any]) -> Campaign:
                         code=code.label,
                         arch=arch.label if arch else "-",
                         fault=fault_label(fault), p=p, **base_tags))
-    return Campaign(tasks, root_seed=int(spec.get("root_seed", 2024)))
+    workers = spec.get("workers")
+    return Campaign(tasks, root_seed=int(spec.get("root_seed", 2024)),
+                    workers=None if workers is None else int(workers))
 
 
 def sweep_size(spec: Mapping[str, Any]) -> int:

@@ -1,0 +1,24 @@
+"""Multiprocess work-stealing campaign execution (``repro.parallel``).
+
+The scale leg of the reproduction: a priority/work-stealing scheduler
+that spreads a campaign's canonical simulation blocks across worker
+processes with per-worker JSONL store shards, crash tolerance, and
+stop decisions that are bit-identical to a serial run.  Reached through
+``Campaign.run(workers=N)``, the sweep-spec ``"workers"`` key, and
+``repro campaign -j N``.
+"""
+
+from .plan import ChunkLease, TaskPlan, plan_leases
+from .scheduler import WorkStealingScheduler, absorb_stale_shards
+from .worker import execute_lease, shard_path, worker_main
+
+__all__ = [
+    "ChunkLease",
+    "TaskPlan",
+    "WorkStealingScheduler",
+    "absorb_stale_shards",
+    "execute_lease",
+    "plan_leases",
+    "shard_path",
+    "worker_main",
+]

@@ -1,0 +1,200 @@
+"""Deterministic chunk planning and watermark aggregation.
+
+The scheduler never hands a worker anything but a :class:`ChunkLease` —
+a ``[start, start + shots)`` slice of one task's canonical block
+stream.  Because every block is seeded from the task seed by its block
+index alone (:func:`repro.util.rng.block_seed`), a lease's counts are a
+pure function of ``(task, start, shots)``: it does not matter which
+worker runs it, when, or how many times (a re-run after a crash is
+bit-identical, so duplicates merge away).
+
+:class:`TaskPlan` owns the other half of the determinism contract: it
+aggregates completed leases into a *contiguous frontier* and evaluates
+the adaptive policy only when the frontier crosses a decision
+watermark, with the cumulative counts **at exactly that watermark**.
+Leases are pre-split so none straddles a watermark, so those prefix
+counts — and therefore the stop shot — are identical for one worker or
+many, whatever order results arrive in.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, NamedTuple, Optional, Tuple
+
+from ..injection.adaptive import AdaptivePolicy
+from ..injection.results import SIM_BLOCK, ChunkResult, InjectionResult
+from ..injection.spec import InjectionTask
+
+#: Counts tuple banked per task before the run (store resume):
+#: ``(shots, errors, raw_errors, corrections, elapsed_s, chunks)``.
+Prior = Tuple[int, int, int, int, float, int]
+
+
+class ChunkLease(NamedTuple):
+    """One schedulable slice of a task's block stream."""
+
+    task_index: int
+    start: int
+    shots: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.shots
+
+
+def plan_leases(task_index: int, start: int, target: int,
+                chunk_shots: int,
+                adaptive: Optional[AdaptivePolicy],
+                task_shots: int) -> List[ChunkLease]:
+    """Split ``[start, target)`` into block-aligned, watermark-aligned
+    leases of at most ``chunk_shots`` shots.
+
+    ``chunk_shots`` must be a whole number of blocks (the engine's
+    ``_normalize_chunk`` guarantees it); the final lease may be partial
+    when the target is not a block multiple.
+    """
+    leases: List[ChunkLease] = []
+    pos = start
+    while pos < target:
+        end = min(pos + chunk_shots, target)
+        if adaptive is not None:
+            end = min(end, adaptive.next_watermark(pos, task_shots))
+        leases.append(ChunkLease(task_index, pos, end - pos))
+        pos = end
+    return leases
+
+
+class TaskPlan:
+    """Scheduling state for one campaign point.
+
+    Tracks which leases are pending (unleased), leased (on some
+    worker's deque or in flight), and completed; advances the
+    contiguous frontier as results arrive; and fires the adaptive
+    policy at each crossed watermark, truncating the plan when the
+    point resolves early.
+    """
+
+    def __init__(self, index: int, task: InjectionTask, prior: Prior,
+                 chunk_shots: int,
+                 adaptive: Optional[AdaptivePolicy]) -> None:
+        self.index = index
+        self.task = task
+        self.adaptive = adaptive
+        (self.prior_shots, prior_errors, prior_raw, prior_corr,
+         prior_elapsed, self.prior_chunks) = prior
+        # Cumulative counts along the contiguous frontier.
+        self.shots = self.prior_shots
+        self.errors = prior_errors
+        self.raw_errors = prior_raw
+        self.corrections = prior_corr
+        self.elapsed_s = prior_elapsed
+        self.chunks = self.prior_chunks
+        self.target = (adaptive.ceiling(task.shots) if adaptive
+                       else task.shots)
+        # Replay the prior's decision only ON the watermark grid (an
+        # off-grid prior resumes to the next watermark first), exactly
+        # like the serial engine.
+        self.stopped = (adaptive is not None and self.shots < self.target
+                        and self.shots > 0
+                        and self.shots % adaptive.decision_step == 0
+                        and adaptive.should_stop(self.errors, self.shots,
+                                                 task.shots))
+        if self.stopped:
+            self.target = self.shots
+        self.pending: Deque[ChunkLease] = deque(plan_leases(
+            index, self.shots, self.target, chunk_shots, adaptive,
+            task.shots))
+        #: Completed-but-not-yet-contiguous results, keyed by start.
+        self._completed: Dict[int, ChunkResult] = {}
+        #: Leases currently owned by a worker (deque or in flight).
+        self.leased: Dict[int, ChunkLease] = {}
+
+    # -- scheduling views ---------------------------------------------
+    @property
+    def remaining(self) -> int:
+        """Expected remaining shots (the priority key): everything not
+        yet completed up to the current target."""
+        return max(0, self.target - self.shots)
+
+    @property
+    def unleased_shots(self) -> int:
+        return sum(lease.shots for lease in self.pending)
+
+    @property
+    def done(self) -> bool:
+        return self.shots >= self.target and not self.leased
+
+    def take(self, max_leases: int) -> List[ChunkLease]:
+        """Lease up to ``max_leases`` pending chunks (front first, so a
+        worker extends the frontier rather than sampling far ahead)."""
+        out = []
+        while self.pending and len(out) < max_leases:
+            lease = self.pending.popleft()
+            self.leased[lease.start] = lease
+            out.append(lease)
+        return out
+
+    def give_back(self, lease: ChunkLease) -> None:
+        """Return a leased chunk to the pending pool (worker death)."""
+        if self.leased.pop(lease.start, None) is None:
+            return
+        if lease.start < self.target:
+            self.pending.appendleft(lease)
+
+    # -- result aggregation -------------------------------------------
+    def record(self, chunk: ChunkResult) -> bool:
+        """Bank one completed lease; returns True if it was new.
+
+        Advances the contiguous frontier and evaluates the policy at
+        every watermark the frontier crosses, in order.  Results for
+        already-banked or beyond-stop ranges (a re-run after a crash,
+        or a speculative in-flight chunk finishing after the stop
+        decision) are discarded — counts stay a function of the
+        canonical prefix ``[0, stop)`` alone.
+        """
+        self.leased.pop(chunk.start, None)
+        if chunk.start in self._completed or chunk.start < self.shots \
+                or chunk.start >= self.target:
+            return False
+        self._completed[chunk.start] = chunk
+        while self.shots in self._completed:
+            nxt = self._completed[self.shots]
+            watermark = (self.adaptive.next_watermark(
+                self.shots, self.task.shots)
+                if self.adaptive is not None else self.target)
+            self.shots = nxt.end
+            self.errors += nxt.errors
+            self.raw_errors += nxt.raw_errors
+            self.corrections += nxt.corrections_applied
+            self.elapsed_s += nxt.elapsed_s
+            self.chunks += 1
+            if self.adaptive is not None and self.shots >= watermark \
+                    and self.shots < self.target \
+                    and self.adaptive.should_stop(
+                        self.errors, self.shots, self.task.shots):
+                self._stop_at_frontier()
+                break
+        return True
+
+    def _stop_at_frontier(self) -> None:
+        """Adaptive stop: truncate the plan at the current frontier."""
+        self.stopped = True
+        self.target = self.shots
+        self.pending.clear()
+        for start in [s for s in self._completed if s >= self.target]:
+            del self._completed[start]
+        # In-flight leases stay in ``leased`` until their (discarded)
+        # results or their worker's death accounts for them.
+        for start in [s for s, lease in self.leased.items()
+                      if lease.start >= self.target]:
+            del self.leased[start]
+
+    def result(self) -> InjectionResult:
+        """The point's final, order-independent aggregate (swap counts
+        come from the same cached transpilation the serial path uses)."""
+        from ..injection.campaign import _assemble
+
+        return _assemble(self.task, self.shots, self.errors,
+                         self.raw_errors, self.corrections,
+                         self.elapsed_s, self.chunks)

@@ -1,0 +1,339 @@
+"""Multiprocess work-stealing campaign scheduler.
+
+The paper's conclusions rest on millions of injections; the frame
+backend made sampling cheap enough that a single interpreter became
+the bottleneck.  This scheduler makes campaign wall-clock scale with
+the hardware while keeping the engine's reproducibility contract
+intact:
+
+* **Priority queue** — tasks are dispensed in order of expected
+  remaining shots (deepest first), so the low-LER tail points that
+  adaptive stopping cannot shorten start early and never straggle
+  behind a line of quick mid-rate points.
+* **Per-worker deques + stealing** — each worker owns a deque of
+  block-aligned :class:`ChunkLease` runs (locality: consecutive leases
+  of one task reuse the worker's cached compiled program).  A worker
+  that drains its deque first refills from the priority queue, then
+  steals the back half of the longest deque.  Leases queue on the
+  parent side; only a small pipeline is ever buffered in a worker, so
+  almost all planned work remains stealable.
+* **Crash tolerance** — a dead worker's leased chunks are requeued
+  and the campaign completes with a :class:`RuntimeWarning`; if every
+  worker dies, the scheduler finishes the remaining leases in-process.
+  Requeued chunks may execute twice; canonical block seeding makes the
+  re-run bit-identical, and the store's ``(key, start)`` dedup folds
+  the duplicates away.
+* **Deterministic sharded aggregation** — each worker appends finished
+  chunks to its own JSONL shard (no write contention, crash-durable)
+  while the results queue feeds the same counts back as the global
+  aggregation channel.  Adaptive stop decisions are made only at
+  shots-completed watermarks over the contiguous frontier
+  (:class:`~repro.parallel.plan.TaskPlan`), never on worker arrival
+  order, so final counts and stop shots are bit-identical for
+  ``workers=1|2|4``.  Shards are merged into the main store through
+  :meth:`CampaignStore.merge` when the campaign ends.
+"""
+
+from __future__ import annotations
+
+import glob
+import heapq
+import multiprocessing as mp
+import os
+import queue
+import warnings
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..injection.adaptive import AdaptivePolicy
+from ..injection.campaign import _normalize_chunk
+from ..injection.results import SIM_BLOCK, ChunkResult, InjectionResult
+from ..injection.spec import InjectionTask
+from ..injection.store import CampaignStore, task_key
+from .plan import ChunkLease, Prior, TaskPlan
+from .worker import execute_lease, shard_path, worker_main
+
+#: Chunks buffered inside a worker process (in its inbox) at any time.
+#: Enough to hide the queue round-trip behind compute; small enough
+#: that nearly all planned work stays on the parent side, stealable.
+PIPELINE_DEPTH = 2
+#: Upper bound on a single lease run handed to one worker.
+MAX_LEASE_RUN = 8
+
+
+def absorb_stale_shards(store: CampaignStore) -> Optional[Dict[str, int]]:
+    """Fold leftover per-worker shards (an interrupted parallel run)
+    into ``store`` so a resume sees every chunk that actually ran."""
+    paths = sorted(glob.glob(glob.escape(store.path) + ".shard-*"))
+    if not paths:
+        return None
+    warnings.warn(
+        f"absorbing {len(paths)} leftover worker shard(s) from an "
+        f"interrupted parallel run into {store.path!r}",
+        RuntimeWarning, stacklevel=2)
+    stats = store.absorb_shards(paths)
+    for path in paths:
+        os.unlink(path)
+    return stats
+
+
+def _mp_context():
+    """Prefer fork (fast spawn, inherited imports); fall back cleanly."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+class WorkStealingScheduler:
+    """Execute a list of campaign points across worker processes."""
+
+    def __init__(self, workers: int,
+                 chunk_shots: Optional[int] = None,
+                 adaptive: Optional[AdaptivePolicy] = None,
+                 store: Optional[CampaignStore] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.requested_workers = int(workers)
+        # Parallel default: one canonical SIM_BLOCK per lease — the
+        # finest stealable grain the reproducibility contract allows.
+        self.chunk_shots = (SIM_BLOCK if chunk_shots is None
+                            else _normalize_chunk(chunk_shots))
+        self.adaptive = adaptive
+        self.store = store
+
+    # -- public entry --------------------------------------------------
+    def run(self, tasks: List[InjectionTask],
+            priors: Optional[List[Prior]] = None) -> List[InjectionResult]:
+        if priors is None:
+            priors = [(0, 0, 0, 0, 0.0, 0)] * len(tasks)
+        plans = [TaskPlan(i, task, prior, self.chunk_shots, self.adaptive)
+                 for i, (task, prior) in enumerate(zip(tasks, priors))]
+        self._plans = plans
+        self._keys = [task_key(t) for t in tasks] \
+            if self.store is not None else [None] * len(tasks)
+        self._finalized = [plan.done for plan in plans]
+        for plan in plans:
+            if plan.done:
+                self._mark_done(plan)
+        total_leases = sum(len(p.pending) for p in plans)
+        if total_leases:
+            self._execute(plans, total_leases)
+        return [plan.result() for plan in plans]
+
+    # -- store plumbing ------------------------------------------------
+    def _mark_done(self, plan: TaskPlan) -> None:
+        self._finalized[plan.index] = True
+        if self.store is not None:
+            self.store.mark_done(self._keys[plan.index], plan.result())
+
+    def _absorb_shards(self, worker_ids) -> None:
+        if self.store is None:
+            return
+        paths = [shard_path(self.store.path, w) for w in worker_ids]
+        paths = [p for p in paths if os.path.exists(p)]
+        if paths:
+            self.store.absorb_shards(paths)
+            for path in paths:
+                os.unlink(path)
+
+    # -- the scheduling loop -------------------------------------------
+    def _execute(self, plans: List[TaskPlan], total_leases: int) -> None:
+        ctx = _mp_context()
+        num_workers = max(1, min(self.requested_workers, total_leases))
+        results_q = ctx.Queue()
+        workers: Dict[int, Tuple[object, object]] = {}  # wid -> (proc, inbox)
+        tasks = [plan.task for plan in plans]
+        store_path = self.store.path if self.store is not None else None
+        try:
+            for wid in range(num_workers):
+                inbox = ctx.Queue()
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(wid, tasks, store_path, inbox, results_q),
+                    daemon=True)
+                try:
+                    proc.start()
+                except OSError as exc:
+                    warnings.warn(
+                        f"could not start parallel worker {wid} ({exc}); "
+                        f"continuing with {len(workers)} worker(s)",
+                        RuntimeWarning, stacklevel=2)
+                    break
+                workers[wid] = (proc, inbox)
+            self._deques: Dict[int, Deque[ChunkLease]] = {
+                wid: deque() for wid in workers}
+            self._inflight: Dict[int, Dict[Tuple[int, int], ChunkLease]] = {
+                wid: {} for wid in workers}
+            self._alive = set(workers)
+            self._heap: List[Tuple[int, int, int]] = []
+            self._heap_seq = 0
+            for plan in plans:
+                self._push_plan(plan)
+            if not workers:
+                self._run_inline(plans)
+                return
+            for wid in list(self._alive):
+                self._pump(wid, workers)
+            failure: Optional[Tuple[InjectionTask, str]] = None
+            while not all(self._finalized) and failure is None:
+                try:
+                    message = results_q.get(timeout=0.25)
+                except queue.Empty:
+                    self._reap_dead(workers)
+                    if not self._alive:
+                        self._run_inline(plans)
+                        return
+                    continue
+                kind = message[0]
+                if kind == "chunk":
+                    _, wid, task_index, row = message
+                    self._on_chunk(wid, task_index,
+                                   ChunkResult.from_row(row))
+                    # Pump every live worker, not just the reporter: a
+                    # worker that went idle while all work was in
+                    # flight elsewhere picks new leases back up here.
+                    for live in list(self._alive):
+                        self._pump(live, workers)
+                elif kind == "error":
+                    _, wid, task_index, start, shots, tb = message
+                    failure = (plans[task_index].task, tb)
+            if failure is not None:
+                task, tb = failure
+                raise RuntimeError(
+                    f"parallel campaign point {task.label!r} failed in a "
+                    f"worker:\n{tb}")
+        finally:
+            self._shutdown(workers)
+            self._absorb_shards(list(workers))
+
+    def _push_plan(self, plan: TaskPlan) -> None:
+        """(Re-)enter a task into the priority queue, deepest-first."""
+        if plan.pending:
+            heapq.heappush(self._heap,
+                           (-plan.remaining, self._heap_seq, plan.index))
+            self._heap_seq += 1
+
+    def _on_chunk(self, wid: int, task_index: int,
+                  chunk: ChunkResult) -> None:
+        plan = self._plans[task_index]
+        self._inflight.get(wid, {}).pop((task_index, chunk.start), None)
+        target_before = plan.target
+        plan.record(chunk)
+        if plan.target < target_before:
+            # Adaptive stop: drop the task's now-moot leases from every
+            # deque (in-flight ones finish and are discarded on
+            # arrival), freeing workers for the deep tail.
+            for dq in self._deques.values():
+                stale = [lease for lease in dq
+                         if lease.task_index == task_index
+                         and lease.start >= plan.target]
+                for lease in stale:
+                    dq.remove(lease)
+        if plan.done and not self._finalized[plan.index]:
+            self._mark_done(plan)
+
+    def _pump(self, wid: int, workers) -> None:
+        """Keep ``wid``'s pipeline full from its deque, refilling or
+        stealing when the deque drains."""
+        dq = self._deques[wid]
+        inflight = self._inflight[wid]
+        while len(inflight) < PIPELINE_DEPTH:
+            if not dq and not self._refill(wid):
+                return
+            lease = dq.popleft()
+            plan = self._plans[lease.task_index]
+            if lease.start >= plan.target:
+                continue    # stopped while queued
+            inflight[(lease.task_index, lease.start)] = lease
+            workers[wid][1].put(("chunk", lease.task_index, lease.start,
+                                 lease.shots))
+
+    def _refill(self, wid: int) -> bool:
+        """Refill ``wid``'s deque: priority queue first, then steal."""
+        while self._heap:
+            _, _, task_index = heapq.heappop(self._heap)
+            plan = self._plans[task_index]
+            if not plan.pending:
+                continue
+            run = max(1, min(MAX_LEASE_RUN,
+                             -(-len(plan.pending) // max(1, len(self._alive)))))
+            self._deques[wid].extend(plan.take(run))
+            self._push_plan(plan)
+            return True
+        victims = [w for w in self._alive
+                   if w != wid and len(self._deques[w]) > 0]
+        if not victims:
+            return False
+        victim = max(victims, key=lambda w: len(self._deques[w]))
+        steal = (len(self._deques[victim]) + 1) // 2
+        stolen = [self._deques[victim].pop() for _ in range(steal)]
+        self._deques[wid].extend(reversed(stolen))
+        return True
+
+    def _reap_dead(self, workers) -> None:
+        """Requeue the leases of any worker that died."""
+        for wid in list(self._alive):
+            proc = workers[wid][0]
+            if proc.is_alive():
+                continue
+            self._alive.discard(wid)
+            leases = list(self._inflight[wid].values()) \
+                + list(self._deques[wid])
+            self._inflight[wid].clear()
+            self._deques[wid].clear()
+            requeued = set()
+            # Descending-start order: give_back appendlefts, so the
+            # requeued chunks come out front-first again and survivors
+            # keep extending the contiguous frontier.
+            for lease in sorted(leases, key=lambda lease: lease.start,
+                                reverse=True):
+                plan = self._plans[lease.task_index]
+                plan.give_back(lease)
+                requeued.add(lease.task_index)
+            for task_index in requeued:
+                self._push_plan(self._plans[task_index])
+            warnings.warn(
+                f"parallel worker {wid} died (exit code {proc.exitcode}); "
+                f"requeued {len(leases)} leased chunk(s) — the campaign "
+                f"continues on {len(self._alive)} worker(s)",
+                RuntimeWarning, stacklevel=2)
+            for other in list(self._alive):
+                self._pump(other, workers)
+
+    def _run_inline(self, plans: List[TaskPlan]) -> None:
+        """Every worker is gone: finish the remaining leases in the
+        scheduler process so the campaign still completes."""
+        warnings.warn(
+            "no parallel workers remain alive; finishing the campaign "
+            "in-process", RuntimeWarning, stacklevel=2)
+        for plan in plans:
+            # Reclaim leases stranded in dead workers' pipelines
+            # (descending, so appendleft restores ascending order).
+            for lease in sorted(plan.leased.values(),
+                                key=lambda lease: lease.start,
+                                reverse=True):
+                plan.give_back(lease)
+            while plan.shots < plan.target and plan.pending:
+                lease = plan.pending.popleft()
+                chunk = execute_lease(plan.task, lease.start, lease.shots)
+                if self.store is not None:
+                    self.store.append_chunk(self._keys[plan.index], chunk)
+                plan.record(chunk)
+            if plan.done and not self._finalized[plan.index]:
+                self._mark_done(plan)
+
+    def _shutdown(self, workers) -> None:
+        for wid, (proc, inbox) in workers.items():
+            if proc.is_alive():
+                try:
+                    inbox.put(("exit",))
+                except (OSError, ValueError):
+                    pass
+        for wid, (proc, inbox) in workers.items():
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+            # Unblock the queue feeder threads so interpreter exit
+            # never hangs on a full pipe.
+            inbox.cancel_join_thread()
+            inbox.close()

@@ -75,6 +75,17 @@ class TestCampaignCommand:
         assert "1 points, 600 shots" in out
         assert "ler" in csv_path.read_text()
 
+    def test_j_flag_routes_to_scheduler(self, capsys, tmp_path):
+        """-j 2 runs through repro.parallel with identical output."""
+        spec = self.write_spec(tmp_path)
+        assert main(["campaign", spec, "--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["campaign", spec, "-j", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert "2 worker(s)" in parallel
+        # identical result table (counts are worker-count invariant)
+        assert serial.splitlines()[-1] == parallel.splitlines()[-1]
+
     def test_store_resume(self, capsys, tmp_path):
         spec = self.write_spec(tmp_path)
         store = str(tmp_path / "store.jsonl")
@@ -157,6 +168,31 @@ class TestStoreCommand:
         msg = capsys.readouterr().out
         assert "merged 2 store(s)" in msg
         assert "2 completed points" in msg
+
+    def test_merge_compaction_summary(self, capsys, tmp_path):
+        """Sharded runs get dedup visibility: the summary reports
+        shards read, records kept, duplicates dropped and malformed
+        skipped."""
+        a = self.run_shard(tmp_path, "a.jsonl", 512)
+        with open(a, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "chunk", "shots": "no key"}\n')
+        capsys.readouterr()
+        out = str(tmp_path / "merged.jsonl")
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            # the same shard twice: every record is a duplicate once
+            assert main(["store", "merge", out, a, a]) == 0
+        msg = capsys.readouterr().out
+        assert "shards read:" in msg
+        assert "records kept:" in msg
+        assert "duplicates dropped:" in msg
+        assert "malformed skipped:  2" in msg   # the shard is read twice
+
+    def test_merge_quiet(self, capsys, tmp_path):
+        a = self.run_shard(tmp_path, "a.jsonl", 512)
+        capsys.readouterr()
+        out = str(tmp_path / "merged.jsonl")
+        assert main(["store", "merge", out, a, "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
 
     def test_merge_requires_inputs(self, tmp_path):
         with pytest.raises(SystemExit):

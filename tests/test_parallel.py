@@ -1,0 +1,302 @@
+"""Tests for the multiprocess work-stealing campaign scheduler:
+worker-count determinism, watermark-based adaptive stopping, sharded
+store aggregation, and crash tolerance."""
+
+import glob
+import signal
+
+import pytest
+
+from repro.injection import (
+    SIM_BLOCK,
+    AdaptivePolicy,
+    Campaign,
+    CampaignStore,
+    CodeSpec,
+    FaultSpec,
+    InjectionTask,
+    build_sweep,
+    run_task,
+)
+from repro.parallel import TaskPlan, absorb_stale_shards, plan_leases
+from repro.parallel.worker import CRASH_AFTER_ENV, CRASH_WORKER_ENV
+
+
+def d3_sweep_tasks(backend, shots=1536):
+    """A small d=3 sweep: two noise levels, clean + radiation fault."""
+    spec = {
+        "codes": [["xxzz", [3, 3]]],
+        "faults": [{"kind": "none"},
+                   {"kind": "radiation", "root_qubit": 2,
+                    "time_index": 0}],
+        "p_values": [0.01, 0.02],
+        "shots": shots,
+        "backend": backend,
+        "root_seed": 29,
+    }
+    return build_sweep(spec)
+
+
+def mid_rate_tasks(n=3, shots=4096, seed=0):
+    return [InjectionTask(code=CodeSpec("repetition", (3, 1)),
+                          intrinsic_p=0.05, shots=shots, seed=seed,
+                          backend="tableau").with_tags(idx=i)
+            for i in range(n)]
+
+
+class TestWorkerCountDeterminism:
+    """The subsystem's headline contract: counts and adaptive stop
+    shots are bit-identical for workers=1|2|4."""
+
+    @pytest.mark.parametrize("backend", ["frames", "tableau"])
+    def test_fixed_budget_counts_identical(self, backend):
+        campaign = d3_sweep_tasks(backend)
+        serial = Campaign(campaign.tasks, root_seed=29).run(max_workers=1)
+        for workers in (2, 4):
+            par = Campaign(campaign.tasks, root_seed=29).run(
+                workers=workers)
+            assert par.counts() == serial.counts()
+
+    @pytest.mark.parametrize("backend", ["frames", "tableau"])
+    def test_adaptive_stop_shots_identical(self, backend):
+        """Globally-aggregated watermark decisions: parallel runs stop
+        each point at exactly the serial stop shot."""
+        campaign = d3_sweep_tasks(backend, shots=8192)
+        policy = AdaptivePolicy(rel_halfwidth=0.3, min_shots=512)
+        serial = Campaign(campaign.tasks, root_seed=29).run(
+            max_workers=1, adaptive=policy)
+        par = Campaign(campaign.tasks, root_seed=29).run(
+            workers=4, adaptive=policy)
+        assert [r.shots for r in par] == [r.shots for r in serial]
+        assert par.counts() == serial.counts()
+        # the policy actually stopped something early, or the test
+        # proves nothing about stop-point determinism
+        assert any(r.shots < t.shots
+                   for r, t in zip(serial, campaign.tasks))
+
+    def test_single_deep_task_splits_across_workers(self):
+        """Block-level scheduling parallelizes within one point."""
+        t = mid_rate_tasks(n=1, shots=6 * SIM_BLOCK, seed=41)[0]
+        serial = run_task(t)
+        par = Campaign([t]).run(workers=4)
+        assert par[0].counts == serial.counts
+
+
+class TestWatermarkPolicy:
+    def test_stop_shot_invariant_to_chunk_size(self):
+        """Satellite fix: adaptive decisions happen at fixed shot
+        watermarks, so chunking no longer moves the stop point."""
+        t = mid_rate_tasks(n=1, shots=16384)[0]
+        policy = AdaptivePolicy(rel_halfwidth=0.25)
+        baseline = run_task(t, adaptive=policy)
+        for chunk_shots in (SIM_BLOCK, 3 * SIM_BLOCK, 8 * SIM_BLOCK):
+            r = run_task(t, chunk_shots=chunk_shots, adaptive=policy)
+            assert r.shots == baseline.shots
+            assert r.counts == baseline.counts
+
+    def test_watermark_grid(self):
+        policy = AdaptivePolicy(decision_shots=1000, max_shots=4608)
+        assert policy.decision_step == 1024
+        assert policy.next_watermark(0, 10_000) == 1024
+        assert policy.next_watermark(1024, 10_000) == 2048
+        assert policy.next_watermark(1500, 10_000) == 2048
+        assert list(policy.watermarks(0, 10_000)) == [1024, 2048, 3072,
+                                                      4096, 4608]
+
+    def test_plan_record_order_independent(self):
+        """TaskPlan aggregation is a pure function of the chunk set:
+        arrival order never changes counts or the stop decision."""
+        t = mid_rate_tasks(n=1, shots=8192)[0]
+        policy = AdaptivePolicy(rel_halfwidth=0.25)
+        chunks = {}
+        for lease in plan_leases(0, 0, 8192, SIM_BLOCK, policy, t.shots):
+            from repro.parallel.worker import execute_lease
+            chunks[lease.start] = execute_lease(t, lease.start,
+                                                lease.shots)
+        orders = [sorted(chunks), sorted(chunks, reverse=True),
+                  sorted(chunks, key=lambda s: (s // 1024) % 3)]
+        outcomes = []
+        for order in orders:
+            plan = TaskPlan(0, t, (0, 0, 0, 0, 0.0, 0), SIM_BLOCK,
+                            policy)
+            for start in order:
+                plan.record(chunks[start])
+            outcomes.append((plan.shots, plan.errors, plan.raw_errors,
+                             plan.corrections, plan.stopped))
+        assert len(set(outcomes)) == 1
+        assert outcomes[0] == (run_task(t, adaptive=policy).shots,
+                               *run_task(t, adaptive=policy).counts[1:],
+                               True)
+
+    def test_lease_planning_snaps_to_watermarks(self):
+        policy = AdaptivePolicy(decision_shots=1024)
+        leases = plan_leases(0, 0, 2560, 3 * SIM_BLOCK, policy, 2560)
+        # 1536-shot chunks get clipped at the 1024/2048 watermarks
+        assert [(lease.start, lease.shots) for lease in leases] == \
+            [(0, 1024), (1024, 1024), (2048, 512)]
+
+
+class TestShardedStore:
+    def test_parallel_store_run_is_resumable(self, tmp_path):
+        tasks = mid_rate_tasks(n=3, shots=1536)
+        serial = Campaign(tasks, root_seed=5).run(max_workers=1)
+        path = str(tmp_path / "store.jsonl")
+        rs = Campaign(tasks, root_seed=5).run(
+            workers=3, resume=CampaignStore(path))
+        assert rs.counts() == serial.counts()
+        # shards were merged into the main store and removed
+        assert glob.glob(path + ".shard-*") == []
+        store = CampaignStore(path)
+        assert len(store) == 3
+        again = Campaign(tasks, root_seed=5).run(workers=3, resume=store)
+        assert again.counts() == serial.counts()
+
+    def test_serial_resume_reads_parallel_store(self, tmp_path):
+        """Worker-sharded writes merge into the same store format the
+        serial engine reads: switch worker counts freely mid-campaign."""
+        tasks = mid_rate_tasks(n=4, shots=1536)
+        path = str(tmp_path / "store.jsonl")
+        Campaign(tasks[:2], root_seed=5).run(
+            workers=2, resume=CampaignStore(path))
+        resumed = Campaign(tasks, root_seed=5).run(
+            max_workers=1, resume=CampaignStore(path))
+        uninterrupted = Campaign(tasks, root_seed=5).run(max_workers=1)
+        assert resumed.counts() == uninterrupted.counts()
+
+    def test_stale_shards_absorbed_on_resume(self, tmp_path):
+        """Chunks stranded in a dead run's worker shard are folded in
+        (not resampled) when the campaign is relaunched."""
+        t = mid_rate_tasks(n=1, shots=1536)[0]
+        seeded = Campaign([t], root_seed=5)._seeded()[0]
+        path = str(tmp_path / "store.jsonl")
+        from repro.injection.store import task_key
+        from repro.parallel.worker import execute_lease, shard_path
+
+        shard = CampaignStore(shard_path(path, 0))
+        shard.append_chunk(task_key(seeded),
+                           execute_lease(seeded, 0, SIM_BLOCK))
+        shard.close()
+        store = CampaignStore(path)
+        with pytest.warns(RuntimeWarning, match="leftover worker"):
+            rs = Campaign([t], root_seed=5).run(workers=2, resume=store)
+        assert glob.glob(path + ".shard-*") == []
+        assert rs.counts() == [run_task(seeded).counts]
+
+    def test_absorb_stale_shards_noop_without_shards(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "store.jsonl"))
+        assert absorb_stale_shards(store) is None
+
+    def test_speculative_chunks_dont_move_adaptive_stop(self, tmp_path):
+        """A store may hold chunks *past* the adaptive stop point (a
+        crashed worker's speculative shard writes): resuming must
+        replay the watermark decisions over the banked prefix and stop
+        at the uninterrupted run's stop shot, not at the end of the
+        banked data."""
+        from repro.injection.store import task_key
+        from repro.parallel.worker import execute_lease
+
+        t = mid_rate_tasks(n=1, shots=16384, seed=23)[0]
+        policy = AdaptivePolicy(rel_halfwidth=0.25)
+        uninterrupted = run_task(t, adaptive=policy)
+        assert uninterrupted.shots < t.shots   # it really stops early
+        path = str(tmp_path / "store.jsonl")
+        store = CampaignStore(path)
+        key = task_key(t)
+        # bank a 512-grain prefix one watermark PAST the true stop
+        banked_end = uninterrupted.shots + 2 * SIM_BLOCK
+        for start in range(0, banked_end, SIM_BLOCK):
+            store.append_chunk(key, execute_lease(t, start, SIM_BLOCK))
+        store.close()
+        for run_kwargs in ({"max_workers": 1}, {"workers": 2}):
+            resumed = Campaign([t]).run(adaptive=policy,
+                                        resume=CampaignStore(path),
+                                        **run_kwargs)
+            assert resumed[0].shots == uninterrupted.shots
+            assert resumed[0].counts == uninterrupted.counts
+
+    def test_off_grid_prior_resumes_to_watermark(self, tmp_path):
+        """A checkpoint between watermarks (fine chunk grain) resumes
+        sampling to the next watermark before any stop decision."""
+        from repro.injection.store import task_key
+        from repro.parallel.worker import execute_lease
+
+        t = mid_rate_tasks(n=1, shots=16384, seed=31)[0]
+        policy = AdaptivePolicy(rel_halfwidth=0.25)
+        uninterrupted = run_task(t, adaptive=policy)
+        path = str(tmp_path / "store.jsonl")
+        store = CampaignStore(path)
+        store.append_chunk(task_key(t), execute_lease(t, 0, SIM_BLOCK))
+        store.close()
+        resumed = Campaign([t]).run(max_workers=1, adaptive=policy,
+                                    resume=CampaignStore(path))
+        assert resumed[0].shots == uninterrupted.shots
+        assert resumed[0].counts == uninterrupted.counts
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGKILL"),
+                    reason="needs SIGKILL")
+class TestCrashTolerance:
+    def test_sigkilled_worker_requeued(self, monkeypatch):
+        """SIGKILL one of two workers mid-campaign: the campaign
+        completes with a requeue warning and unchanged counts."""
+        monkeypatch.setenv(CRASH_WORKER_ENV, "0")
+        monkeypatch.setenv(CRASH_AFTER_ENV, "1")
+        tasks = mid_rate_tasks(n=3, shots=1536)
+        serial = Campaign(tasks, root_seed=7).run(max_workers=1)
+        with pytest.warns(RuntimeWarning, match="died .* requeued"):
+            crashed = Campaign(tasks, root_seed=7).run(workers=2)
+        assert crashed.counts() == serial.counts()
+
+    def test_all_workers_dead_finishes_inline(self, monkeypatch):
+        """Even a total worker wipeout completes the campaign (inline
+        in the scheduler process) rather than losing it."""
+        monkeypatch.setenv(CRASH_WORKER_ENV, "0,1")
+        monkeypatch.setenv(CRASH_AFTER_ENV, "1")
+        tasks = mid_rate_tasks(n=2, shots=1536)
+        serial = Campaign(tasks, root_seed=9).run(max_workers=1)
+        with pytest.warns(RuntimeWarning, match="in-process"):
+            crashed = Campaign(tasks, root_seed=9).run(workers=2)
+        assert crashed.counts() == serial.counts()
+
+    def test_worker_exception_propagates(self):
+        """A deterministic task failure surfaces as a campaign error,
+        not an endless requeue loop."""
+        bad = InjectionTask(code=CodeSpec("repetition", (3, 1)),
+                            fault=FaultSpec(kind="radiation",
+                                            root_qubit=0, time_index=0,
+                                            strike_round=1),
+                            rounds=4, intrinsic_p=0.05, shots=SIM_BLOCK,
+                            seed=3)
+        object.__setattr__(bad.fault, "strike_round", 10)  # > rounds
+        with pytest.raises(RuntimeError, match="failed in a worker"):
+            Campaign([bad]).run(workers=2)
+
+
+class TestSweepWorkersKey:
+    def test_workers_key_parsed(self):
+        campaign = build_sweep({"codes": [["repetition", [3, 1]]],
+                                "workers": 2, "shots": 1024,
+                                "p_values": [0.05]})
+        assert campaign.workers == 2
+        serial = build_sweep({"codes": [["repetition", [3, 1]]],
+                              "shots": 1024, "p_values": [0.05]})
+        assert serial.workers is None
+        # the spec default drives Campaign.run's routing
+        rs = campaign.run()
+        assert rs.counts() == serial.run(max_workers=1).counts()
+
+    def test_explicit_serial_overrides_spec_workers(self, monkeypatch):
+        """max_workers=1 (the documented serial switch) must win over a
+        spec's 'workers' default — no process fleet behind the caller's
+        back."""
+        import repro.parallel
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("scheduler must not be used")
+
+        monkeypatch.setattr(repro.parallel, "WorkStealingScheduler", _boom)
+        campaign = build_sweep({"codes": [["repetition", [3, 1]]],
+                                "workers": 8, "shots": 1024,
+                                "p_values": [0.05]})
+        rs = campaign.run(max_workers=1)
+        assert rs[0].shots == 1024
