@@ -120,9 +120,11 @@ def cmd_fig5(args) -> None:
 def cmd_fig6(args) -> None:
     from .experiments import fig6_distance
 
-    rows = fig6_distance.run(shots=args.shots, **_engine_kwargs(args))
+    rows = fig6_distance.run(shots=args.shots, deep=args.deep,
+                             deep_p=args.deep_p, **_engine_kwargs(args))
     _write([r.to_row() for r in rows], args,
-           "Fig. 6 — logical error criticality by code distance")
+           "Fig. 6 — logical error criticality by code distance"
+           + (" (+ deep intrinsic-noise floor)" if args.deep else ""))
     adv = fig6_distance.bitflip_advantage(rows)
     if adv:
         print()
@@ -202,6 +204,28 @@ def cmd_detect(args) -> None:
            f"(intensity {args.intensity:g}, paired seeds)")
 
 
+def _sampler_override(args):
+    """The ``--sampler``/``--tilt`` override, or ``None`` (keep each
+    task's own sampler)."""
+    kind = getattr(args, "sampler", None)
+    tilt = getattr(args, "tilt", None)
+    if kind is None:
+        if tilt is not None:
+            sys.exit("error: --tilt only applies with --sampler tilt")
+        return None
+    from .rare.sampler import SamplerSpec
+
+    if kind != "tilt" and tilt is not None:
+        sys.exit("error: --tilt only applies with --sampler tilt")
+    try:
+        if kind == "tilt":
+            return SamplerSpec(kind="tilt",
+                               tilt=0.0 if tilt is None else tilt)
+        return SamplerSpec(kind=kind)
+    except ValueError as exc:
+        sys.exit(f"error: {exc}")
+
+
 def cmd_campaign(args) -> None:
     from .injection.store import CampaignStore
     from .injection.sweep import build_sweep
@@ -212,20 +236,29 @@ def cmd_campaign(args) -> None:
         spec["shots"] = args.shots
     campaign = build_sweep(spec)
     policy = _policy(args)
+    sampler = _sampler_override(args)
     store = CampaignStore(args.store) if args.store else None
     workers = args.workers
     if workers is None:
         workers = campaign.workers or os.cpu_count() or 1
     banked = campaign.banked(store, adaptive=policy, backend=args.backend,
-                             recovery=args.recovery)
+                             recovery=args.recovery, sampler=sampler)
     print(f"campaign: {len(campaign)} points, {workers} worker(s)"
           + (f" ({banked} already complete in {args.store})" if store
              else ""))
-    results = campaign.run(workers=workers,
-                           chunk_shots=args.chunk_shots,
-                           adaptive=policy, resume=store,
-                           backend=args.backend,
-                           recovery=args.recovery)
+    try:
+        results = campaign.run(workers=workers,
+                               chunk_shots=args.chunk_shots,
+                               adaptive=policy, resume=store,
+                               backend=args.backend,
+                               recovery=args.recovery,
+                               sampler=sampler)
+    except ValueError as exc:
+        if "frame backend" not in str(exc):
+            raise
+        # --sampler split on a point that resolved to the tableau
+        # backend: a spec error, reported like the other CLI misuses.
+        sys.exit(f"error: {exc}")
     _write(results.to_rows(), args, f"Campaign — {args.spec}")
     ceiling = sum(policy.ceiling(t.shots) if policy else t.shots
                   for t in campaign.tasks)
@@ -239,6 +272,63 @@ def cmd_campaign(args) -> None:
         # this policy's ceiling — extra precision, nothing "saved"
         line += f" (exceeds the {ceiling}-shot ceiling via banked results)"
     print(line)
+
+
+def cmd_rare(args) -> None:
+    """Auto-tilt pilot diagnostics + a tilted deep-tail estimate."""
+    from .injection.adaptive import AdaptivePolicy
+    from .injection.campaign import run_task
+    from .injection.spec import CodeSpec, InjectionTask
+    from .rare.pilot import pilot_report
+    from .rare.sampler import SamplerSpec
+    from .rare.stats import mc_required_shots, variance_reduction_factor
+
+    try:
+        sampler = SamplerSpec(kind="tilt", tilt=args.tilt or 0.0,
+                              target_rel=args.target_rel,
+                              pilot_shots=args.pilot_shots)
+    except ValueError as exc:
+        sys.exit(f"error: {exc}")
+    task = InjectionTask(
+        code=CodeSpec("xxzz", (args.distance, args.distance)),
+        intrinsic_p=args.p, rounds=args.rounds, decoder=args.decoder,
+        readout=args.readout, backend=args.backend or "auto",
+        sampler=sampler, shots=args.shots, seed=args.seed)
+    rows = pilot_report(task)
+    _write(rows, args,
+           f"Rare-event pilot — d={args.distance} rotated code, "
+           f"p={args.p:g}, {args.readout} readout "
+           f"(target ±{args.target_rel:.0%} relative CI)")
+    if args.pilot_only:
+        return
+    if sampler.auto_tilt:
+        # Pin the rung the pilot just chose: the auto resolver would
+        # deterministically re-run the identical ladder otherwise.
+        import dataclasses
+
+        chosen = next(float(r["tilt"]) for r in rows if r["chosen"])
+        task = dataclasses.replace(
+            task, sampler=dataclasses.replace(sampler,
+                                              tilt=max(1.0, chosen)))
+    policy = AdaptivePolicy(rel_halfwidth=args.target_rel,
+                            min_shots=args.min_shots)
+    result = run_task(task, adaptive=policy)
+    stats = result.weight_stats
+    lo, hi = result.confidence_interval
+    # Both figures from the same (self-normalized) estimator, so
+    # mc_shots / vrf is the tilted estimator's own shot requirement.
+    vrf = variance_reduction_factor(stats, args.target_rel, mode="sn")
+    mc_shots = mc_required_shots(result.logical_error_rate,
+                                 args.target_rel)
+    print()
+    print(f"tilted estimate: LER = {result.logical_error_rate:.3g} "
+          f"[{lo:.3g}, {hi:.3g}]  "
+          f"({result.errors} failures / {result.shots} shots, "
+          f"ESS {stats.ess:,.0f})")
+    if result.logical_error_rate > 0:
+        print(f"variance reduction vs plain MC: {vrf:,.1f}x "
+              f"(plain MC would need ~{mc_shots:,.0f} shots for the "
+              f"same target)")
 
 
 def cmd_store(args) -> None:
@@ -284,6 +374,7 @@ COMMANDS = {
     "headline": cmd_headline,
     "detect": cmd_detect,
     "campaign": cmd_campaign,
+    "rare": cmd_rare,
     "store": cmd_store,
 }
 
@@ -338,6 +429,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process-pool size (default: all cores)")
         sub.add_argument("--csv", type=str, default=None,
                          help="also write rows to this CSV file")
+        if name == "fig6":
+            sub.add_argument("--deep", action="store_true",
+                             help="extend the distance curves into the "
+                                  "deep low-LER tail: one auto-tilted "
+                                  "intrinsic-noise baseline point per "
+                                  "code (repro.rare importance "
+                                  "sampling)")
+            sub.add_argument("--deep-p", type=float, default=2e-4,
+                             help="intrinsic noise level of the deep "
+                                  "baseline points")
         if name in CAMPAIGN_FIGURES:
             _add_engine_options(sub)
     det = subs.add_parser(
@@ -388,6 +489,52 @@ def build_parser() -> argparse.ArgumentParser:
                            "shots' burst-window detectors, 'static' = "
                            "plain decode (default: the task's own "
                            "setting)")
+    from .rare.sampler import SAMPLER_KINDS
+
+    camp.add_argument("--sampler", type=str, default=None,
+                      choices=SAMPLER_KINDS,
+                      help="rare-event sampling measure for every "
+                           "point: 'tilt' = importance-sample boosted "
+                           "intrinsic noise with per-shot likelihood "
+                           "weights, 'split' = multilevel splitting "
+                           "over frame batches, 'mc' = plain Monte "
+                           "Carlo (default: the task's own setting)")
+    camp.add_argument("--tilt", type=float, default=None,
+                      help="tilt factor for --sampler tilt (default: "
+                           "auto via a pilot run)")
+    rare = subs.add_parser(
+        "rare", help="rare-event pilot diagnostics + a tilted "
+                     "deep-tail LER estimate (repro.rare)")
+    rare.add_argument("--distance", type=int, default=5,
+                      help="rotated-code distance (d, d)")
+    rare.add_argument("--p", type=float, default=2e-4,
+                      help="intrinsic depolarizing noise level")
+    rare.add_argument("--rounds", type=int, default=2,
+                      help="syndrome rounds of the memory experiment")
+    rare.add_argument("--decoder", type=str, default="mwpm",
+                      help="decoder for the estimate")
+    rare.add_argument("--readout", type=str, default="data",
+                      choices=("ancilla", "data"),
+                      help="readout mode (the deep tail needs 'data': "
+                           "the ancilla circuit fails linearly in p)")
+    rare.add_argument("--backend", type=str, default=None,
+                      help="simulation backend (default auto)")
+    rare.add_argument("--shots", type=int, default=16384,
+                      help="shot ceiling for the tilted estimate")
+    rare.add_argument("--min-shots", type=int, default=DEFAULT_MIN_SHOTS,
+                      help="adaptive floor before the estimate may stop")
+    rare.add_argument("--seed", type=int, default=2024,
+                      help="task seed")
+    rare.add_argument("--tilt", type=float, default=None,
+                      help="pin the tilt instead of auto-selecting")
+    rare.add_argument("--target-rel", type=float, default=0.2,
+                      help="target relative CI half-width")
+    rare.add_argument("--pilot-shots", type=int, default=1024,
+                      help="pilot shots per tilt-ladder rung")
+    rare.add_argument("--pilot-only", action="store_true",
+                      help="print the pilot table and stop")
+    rare.add_argument("--csv", type=str, default=None,
+                      help="also write the pilot rows to this CSV file")
     store = subs.add_parser(
         "store", help="manage JSONL campaign stores")
     store_subs = store.add_subparsers(dest="store_command", required=True,

@@ -42,13 +42,30 @@ def _configs() -> List[Tuple[CodeSpec, ArchSpec]]:
     return configs
 
 
+#: Intrinsic noise level of the ``--deep`` baseline points: two-plus
+#: decades below the fault-dominated curves, where plain MC would need
+#: millions of shots per point.
+DEEP_P = 2e-4
+
+
 def build_campaign(shots: int = 600, root_seed: int = 601,
-                   max_roots: Optional[int] = None) -> Campaign:
+                   max_roots: Optional[int] = None,
+                   deep: bool = False, deep_p: float = DEEP_P) -> Campaign:
     """One erasure task per (code, root qubit).
 
     ``max_roots`` caps the injection points per code (evenly strided)
     for quick runs; ``None`` sweeps every used physical qubit.
+
+    ``deep`` adds one *intrinsic-noise floor* point per code: no
+    radiation fault, ``deep_p`` depolarizing noise, data readout, and
+    the auto-tilted importance sampler (:mod:`repro.rare`) — the
+    logical error rates these points measure sit orders of magnitude
+    below what the fault-dominated sweep (or plain Monte Carlo at this
+    shot budget) can resolve, extending Fig. 6's LER axis into the
+    deep tail.
     """
+    from ..rare.sampler import SamplerSpec
+
     tasks: List[InjectionTask] = []
     for spec, arch in _configs():
         roots = used_physical_qubits(spec, arch)
@@ -64,6 +81,19 @@ def build_campaign(shots: int = 600, root_seed: int = 601,
             ).with_tags(fig="fig6", family=spec.kind,
                         dz=spec.distance[0], dx=spec.distance[1],
                         root=root))
+        if deep:
+            # No architecture: the floor is a property of the code
+            # itself, and the un-transpiled circuit keeps the noise
+            # model exactly lowerable (frame backend + tilting).
+            tasks.append(InjectionTask(
+                code=spec, arch=None, fault=FaultSpec(kind="none"),
+                intrinsic_p=deep_p, rounds=DEFAULT_ROUNDS,
+                readout="data",
+                sampler=SamplerSpec(kind="tilt", tilt=0.0),
+                shots=max(8 * shots, 8192),
+            ).with_tags(fig="fig6", family=spec.kind,
+                        dz=spec.distance[0], dx=spec.distance[1],
+                        deep=1))
     return Campaign(tasks, root_seed=root_seed)
 
 
@@ -95,8 +125,10 @@ def run(shots: int = 600, max_workers: Optional[int] = None,
         max_roots: Optional[int] = None, store=None, adaptive=None,
         chunk_shots: Optional[int] = None,
         backend: Optional[str] = None,
-        workers: Optional[int] = None) -> List[DistanceRow]:
-    campaign = build_campaign(shots=shots, max_roots=max_roots)
+        workers: Optional[int] = None,
+        deep: bool = False, deep_p: float = DEEP_P) -> List[DistanceRow]:
+    campaign = build_campaign(shots=shots, max_roots=max_roots,
+                              deep=deep, deep_p=deep_p)
     results = execute(campaign, max_workers=max_workers, store=store,
                       adaptive=adaptive, chunk_shots=chunk_shots,
                       backend=backend, workers=workers)
@@ -104,12 +136,26 @@ def run(shots: int = 600, max_workers: Optional[int] = None,
     for spec, _ in _configs():
         sub = results.filter_tags(family=spec.kind,
                                   dz=spec.distance[0], dx=spec.distance[1])
-        rates = sub.rates()
+        fault_sub = (sub.filter(lambda r: "deep" not in dict(r.task.tags))
+                     if deep else sub)
+        rates = fault_sub.rates()
         med, q25, q75 = median_with_iqr(rates)
         rows.append(DistanceRow(
             family=spec.kind, distance=spec.distance,
             circuit_size=spec.build().num_qubits,
-            median_ler=med, q25=q25, q75=q75, num_roots=len(sub)))
+            median_ler=med, q25=q25, q75=q75,
+            num_roots=len(fault_sub)))
+        if deep:
+            # The weighted tail estimate: one row per code, the Wilson
+            # CI of the importance-sampled rate standing in for the
+            # IQR of the root sweep.
+            for r in sub.filter_tags(deep=1):
+                lo, hi = r.confidence_interval
+                rows.append(DistanceRow(
+                    family=f"{spec.kind}+deep", distance=spec.distance,
+                    circuit_size=spec.build().num_qubits,
+                    median_ler=r.logical_error_rate, q25=lo, q75=hi,
+                    num_roots=1))
     return rows
 
 

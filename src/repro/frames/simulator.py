@@ -71,17 +71,37 @@ class FrameSimulator:
     rng:
         Generator (or int seed) driving the Z-frame randomisation and
         every lowered noise sampler.
+    tilt:
+        Importance-sampling tilt on depolarizing sites: each lowered
+        ``OP_DEPOLARIZE`` site with nominal probability ``p`` fires at
+        ``q = max(p, min(tilt * p, tilt_p_cap))`` instead, and the shot
+        accumulates the exact log-likelihood-ratio ``log P_p / P_q`` in
+        :attr:`log_weights` — a per-shot float row riding alongside the
+        packed X/Z frames.  ``tilt=1`` (the default) keeps the
+        historical bit-identical sampling path and allocates nothing.
+        Fault-reset sites (``OP_RESET_NOISE``) are never tilted: the
+        strike is the *condition* of a radiation campaign, not the rare
+        event, and its per-site probabilities are already order one.
     """
 
     def __init__(self, num_qubits: int, batch_size: int,
-                 rng: Union[np.random.Generator, int, None] = None) -> None:
+                 rng: Union[np.random.Generator, int, None] = None,
+                 tilt: float = 1.0, tilt_p_cap: float = 0.5) -> None:
         if num_qubits <= 0:
             raise ValueError("need at least one qubit")
+        if tilt != 1.0 and tilt < 1.0:
+            raise ValueError("tilt must be >= 1")
         n = int(num_qubits)
         B = int(batch_size)
         self.n = n
         self.batch_size = B
         self.num_words = words_for(B)
+        self.tilt = float(tilt)
+        self.tilt_p_cap = float(tilt_p_cap)
+        #: Per-shot accumulated log-likelihood-ratio weights (tilted
+        #: sampling only; ``None`` — and zero overhead — at tilt=1).
+        self.log_weights = (np.zeros(B, dtype=np.float64)
+                            if self.tilt != 1.0 else None)
         if rng is None or isinstance(rng, (int, np.integer)):
             rng = np.random.default_rng(rng)
         self.rng = rng
@@ -170,12 +190,50 @@ class FrameSimulator:
         u = np.empty((len(qs), self.batch_size))
         for i in range(len(qs)):
             u[i] = self.rng.random(self.batch_size)
+        ps = self._tilted_layer_llr(ps, u)
         third = ps[:, None] / 3.0
         mx = pack_bool_rows(u < third)
         my = pack_bool_rows((u >= third) & (u < 2 * third))
         mz = pack_bool_rows((u >= 2 * third) & (u < ps[:, None]))
         self.x[qs] ^= mx | my
         self.z[qs] ^= mz | my
+
+    # ------------------------------------------------------------------
+    # Tilted (importance-sampled) depolarize helpers
+    # ------------------------------------------------------------------
+    def _tilted_p(self, p: float) -> float:
+        """The sampling probability of a nominal-``p`` depolarize site
+        under the simulator's tilt: at most ``tilt_p_cap``, but never
+        below ``p`` (a site already past the cap stays at ``p`` — zero
+        likelihood ratio — rather than under-sampling the tail)."""
+        return max(p, min(self.tilt * p, self.tilt_p_cap))
+
+    def _accumulate_llr(self, p: float, q: float, fired: np.ndarray) -> None:
+        """Add one site's log-likelihood-ratio to every shot's weight.
+
+        The tilt scales all three Pauli arms uniformly (``q/3`` each),
+        so the ratio depends only on whether the site fired:
+        ``log(p/q)`` on error shots, ``log((1-p)/(1-q))`` elsewhere.
+        """
+        if q == p:
+            return
+        self.log_weights += np.where(fired, np.log(p / q),
+                                     np.log((1.0 - p) / (1.0 - q)))
+
+    def _tilted_layer_llr(self, ps: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Resolve a depolarize layer's sampling probabilities and bank
+        the layer's log-likelihood ratios; identity at tilt=1."""
+        if self.log_weights is None:
+            return ps
+        qs_p = np.maximum(ps, np.minimum(self.tilt * ps, self.tilt_p_cap))
+        fired = u < qs_p[:, None]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            llr_hit = np.log(ps / qs_p)
+            llr_miss = np.log((1.0 - ps) / (1.0 - qs_p))
+        delta = np.where(fired, llr_hit[:, None], llr_miss[:, None])
+        self.log_weights += np.where((qs_p == ps)[:, None], 0.0,
+                                     delta).sum(axis=0)
+        return qs_p
 
     # ------------------------------------------------------------------
     # Non-unitary ops
@@ -204,8 +262,15 @@ class FrameSimulator:
     # Lowered noise ops
     # ------------------------------------------------------------------
     def depolarize(self, a: int, p: float) -> None:
-        """Per-shot X/Y/Z error with probability ``p/3`` each (Eq. 4)."""
+        """Per-shot X/Y/Z error with probability ``p/3`` each (Eq. 4).
+
+        Under a tilt the site samples at the boosted probability and
+        banks the shot's log-likelihood ratio (see the class doc)."""
         u = self.rng.random(self.batch_size)
+        if self.log_weights is not None:
+            q = self._tilted_p(p)
+            self._accumulate_llr(p, q, u < q)
+            p = q
         third = p / 3.0
         mx = pack_bool(u < third)
         my = pack_bool((u >= third) & (u < 2 * third))
@@ -254,7 +319,18 @@ class FrameSimulator:
             raise ValueError("program wider than simulator register")
         record_words = np.zeros((program.num_cbits, self.num_words),
                                 dtype=np.uint64)
-        for op in program.ops:
+        self.exec_ops(program.ops, record_words)
+        return record_words
+
+    def exec_ops(self, ops, record_words: np.ndarray) -> None:
+        """Execute a slice of compiled ops against ``record_words``.
+
+        The dispatch core of :meth:`run_packed`, exposed so staged
+        executors (the multilevel-splitting driver in
+        :mod:`repro.rare.split`) can run a program segment by segment,
+        resampling the batch between segments.
+        """
+        for op in ops:
             code = op[0]
             if code == OP_CX:
                 self.cx(op[1], op[2])
@@ -292,7 +368,13 @@ class FrameSimulator:
                 self.swap_layer(op[1], op[2])
             else:  # pragma: no cover - compiler emits no other opcodes
                 raise NotImplementedError(f"opcode {code}")
-        return record_words
+
+    def shot_weights(self) -> np.ndarray:
+        """Per-shot importance weights ``exp(log_weights)`` (unit
+        weights when the simulator is untilted)."""
+        if self.log_weights is None:
+            return np.ones(self.batch_size, dtype=np.float64)
+        return np.exp(self.log_weights)
 
     def run(self, program: FrameProgram) -> np.ndarray:
         """Execute a compiled program; returns records ``(B, cbits)``.

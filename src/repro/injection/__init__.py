@@ -8,6 +8,7 @@ from .campaign import (
     iter_task_chunks,
     run_task,
 )
+from ..rare.sampler import SamplerSpec
 from .results import ChunkResult, InjectionResult, ResultSet, wilson_interval
 from .spec import ArchSpec, CodeSpec, FaultSpec, InjectionTask
 from .store import CampaignStore, task_key
@@ -33,4 +34,5 @@ __all__ = [
     "CodeSpec",
     "FaultSpec",
     "InjectionTask",
+    "SamplerSpec",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from ..rare.stats import WeightStats
 from .results import SIM_BLOCK, wilson_interval
 
 #: Default decision-watermark spacing, in shots.  Matches the engine's
@@ -107,17 +108,43 @@ class AdaptivePolicy:
             pos = self.next_watermark(pos, task_shots)
             yield pos
 
-    def satisfied(self, errors: int, shots: int) -> bool:
-        """True when ``(errors, shots)`` meets the precision target."""
+    def satisfied(self, errors: int, shots: int,
+                  weights: Optional[WeightStats] = None) -> bool:
+        """True when ``(errors, shots)`` meets the precision target.
+
+        ``weights`` switches the criterion to the *weighted* estimator
+        of a rare-event sampler: the self-normalized rate with the
+        weighted Wilson interval over the effective sample size
+        (:meth:`repro.rare.stats.WeightStats.wilson_interval`).  The
+        ``min_shots`` / ``min_errors`` floors stay in raw shots and raw
+        observed failures — a handful of heavy-weight error shots must
+        not stop a point whose ESS is still tiny.
+
+        Non-iid weights (multilevel splitting: lanes are correlated
+        clones, so the variance formulas understate the estimator's
+        true spread — ``min_errors`` could even be met by clones of a
+        single original failure) never satisfy the target: split
+        points run their full budget and only the ceiling stops them.
+        """
         if shots < self.min_shots or errors < self.min_errors:
             return False
-        lo, hi = wilson_interval(errors, shots, self.z)
+        if weights is not None and not weights.iid:
+            return False
+        if weights is not None:
+            rate = weights.estimate("sn")
+            if rate <= 0.0:
+                return False
+            lo, hi = weights.wilson_interval(self.z)
+        else:
+            rate = errors / shots
+            lo, hi = wilson_interval(errors, shots, self.z)
         half = (hi - lo) / 2.0
         if self.abs_halfwidth is not None and half <= self.abs_halfwidth:
             return True
-        return half <= self.rel_halfwidth * (errors / shots)
+        return half <= self.rel_halfwidth * rate
 
-    def should_stop(self, errors: int, shots: int, task_shots: int) -> bool:
+    def should_stop(self, errors: int, shots: int, task_shots: int,
+                    weights: Optional[WeightStats] = None) -> bool:
         """Stop when the target is met or the ceiling is exhausted."""
         return shots >= self.ceiling(task_shots) or \
-            self.satisfied(errors, shots)
+            self.satisfied(errors, shots, weights)

@@ -52,11 +52,14 @@ from ..noise import (
     run_batch_noisy,
 )
 from ..decoders import decoder_for
+from ..rare.sampler import SamplerSpec, as_sampler
+from ..rare.stats import WeightStats
 from ..transpile import transpile
 from ..util.parallel import parallel_map
 from ..util.rng import block_seed, frame_ref_seed, task_seed
 from .adaptive import AdaptivePolicy
-from .results import SIM_BLOCK, ChunkResult, InjectionResult, ResultSet
+from .results import (SIM_BLOCK, ChunkResult, InjectionResult, ResultSet,
+                      normalize_prior)
 from .spec import ArchSpec, CodeSpec, InjectionTask, build_arch, build_experiment
 from .store import CampaignStore, task_key
 
@@ -163,22 +166,125 @@ def _frame_program(task: InjectionTask, experiment: MemoryExperiment,
     return program
 
 
+@lru_cache(maxsize=256)
+def _resolved_sampler(task: InjectionTask) -> SamplerSpec:
+    """Resolve an auto-tilt task's sampler by running the pilot once.
+
+    Cached per process and keyed by the full task spec, so the pilot
+    runs at most once per task wherever resolution happens.
+    ``Campaign._seeded`` resolves in the *parent* before dispatch —
+    workers then receive pinned samplers and never re-run the pilot —
+    while direct ``run_task`` callers resolve lazily through
+    :func:`_task_context`.  The pilot is a pure function of the task
+    spec (reserved seed path), so every resolution site pins the same
+    tilt and task keys stay consistent across run modes and resumes.
+    """
+    probe = dataclasses.replace(
+        task, sampler=dataclasses.replace(task.sampler, tilt=1.0))
+    experiment, decoder, noise, program, _, _ = _task_context(probe)
+    # Imported lazily (the pilot executes blocks through this module's
+    # own block runner).
+    from ..rare.pilot import resolve_tilt
+
+    return resolve_tilt(task, experiment, decoder, noise, program)
+
+
 @lru_cache(maxsize=64)
 def _task_context(task: InjectionTask):
     """Worker-side cache of everything a chunk execution needs.
 
-    ``(experiment, base decoder, noise model, frame program)`` depend
-    only on the task spec, so they are shared by every chunk of the
-    task — crucial for the parallel scheduler, whose workers execute a
-    task's blocks one small lease at a time: without this cache each
-    lease would re-run the reference pass and noise lowering.
+    ``(experiment, base decoder, noise model, frame program, resolved
+    sampler, tilted-tableau model)`` depend only on the task spec, so
+    they are shared by every chunk of the task — crucial for the
+    parallel scheduler, whose workers execute a task's blocks one small
+    lease at a time: without this cache each lease would re-run the
+    reference pass, the noise lowering, and (for auto-tilt tasks) the
+    pilot run.
+
+    Sampler resolution happens here: ``tilt=0`` (auto) runs the
+    deterministic pilot controller once and pins the chosen tilt;
+    ``split`` validates that the task actually resolved to the frame
+    backend; tableau-path tilts pre-build the tilted noise model and
+    its shared weight sink.
     """
     experiment, decoder, _ = _prepared(
         task.code, task.rounds, task.basis, task.arch, task.layout,
         task.decoder, task.readout)
     noise = _build_noise(task, experiment)
     program = _frame_program(task, experiment, noise)
-    return experiment, decoder, noise, program
+    sampler = task.sampler
+    tilted = None
+    if sampler.kind == "split" and program is None:
+        raise ValueError(
+            "sampler 'split' resamples bit-packed frame batches and "
+            "needs the frame backend; set backend='frames' (or 'auto' "
+            "with an exactly-lowerable noise model)")
+    if sampler.kind == "tilt":
+        if sampler.auto_tilt:
+            sampler = _resolved_sampler(task)
+        if program is None:
+            from ..rare.tilt import tilted_noise_model
+
+            tilted = tilted_noise_model(noise, sampler)
+    return experiment, decoder, noise, program, sampler, tilted
+
+
+def execute_block(experiment: MemoryExperiment, decoder, noise, program,
+                  sampler: SamplerSpec, tilted, size: int, rng,
+                  adaptive_decoder: bool = False):
+    """Run + decode one simulation block under a sampling measure.
+
+    Returns ``(num_errors, raw_errors, corrections,
+    weight_stats-or-None)``.  This is the one place a noise realisation
+    is ever drawn, shared by the serial engine, the parallel workers
+    (via :func:`iter_task_chunks`) and the auto-tilt pilot — so every
+    consumer samples the identical stream for identical inputs.
+    ``adaptive_decoder`` marks a burst-recovery wrapper that takes the
+    packed record words for frame-native strike detection.
+    """
+    record_words = None
+    weights = None
+    if program is not None:
+        if sampler.kind == "split":
+            from ..rare.split import run_split_packed
+
+            sim = FrameSimulator(experiment.circuit.num_qubits, size,
+                                 rng=rng)
+            record_words, weights = run_split_packed(
+                sim, program, experiment, sampler)
+        else:
+            tilt = sampler.tilt if sampler.kind == "tilt" else 1.0
+            sim = FrameSimulator(experiment.circuit.num_qubits, size,
+                                 rng=rng, tilt=tilt,
+                                 tilt_p_cap=sampler.p_cap)
+            record_words = sim.run_packed(program)
+            if sampler.kind == "tilt":
+                weights = sim.shot_weights()
+        records = np.ascontiguousarray(
+            unpack_words(record_words, size).T)
+    elif sampler.kind == "tilt":
+        tilted_model, sink = tilted
+        sink.reset(size)
+        records = run_batch_noisy(experiment.circuit, tilted_model, size,
+                                  rng=rng, backend="tableau")
+        weights = sink.weights()
+    else:
+        records = run_batch_noisy(experiment.circuit, noise, size,
+                                  rng=rng, backend="tableau")
+    if adaptive_decoder:
+        # Frame-native detection: the packed record words feed the
+        # streaming detector without an unpack (None on tableau path).
+        decoded = decoder.decode_batch(experiment, records,
+                                       record_words=record_words)
+    else:
+        decoded = decoder.decode_batch(experiment, records)
+    readout = experiment.raw_readout(records)
+    errors = decoded.num_errors
+    raw = int(np.count_nonzero(readout != experiment.expected_logical))
+    corr = int(np.count_nonzero(decoded.corrections))
+    stats = (WeightStats.from_weights(weights, decoded.errors)
+             if sampler.weighted else None)
+    return errors, raw, corr, stats
 
 
 def _normalize_chunk(chunk_shots: Optional[int]) -> int:
@@ -211,10 +317,12 @@ def iter_task_chunks(task: InjectionTask,
         raise ValueError(
             f"start_shot {start_shot} is not on a {SIM_BLOCK}-shot "
             f"block boundary")
-    # Backend resolution happens once per task: the frame program (the
-    # reference pass + lowered noise) is shared by every block of every
-    # chunk, across however many calls schedule them.
-    experiment, decoder, noise, program = _task_context(task)
+    # Backend + sampler resolution happens once per task: the frame
+    # program (the reference pass + lowered noise) and the resolved
+    # sampling measure are shared by every block of every chunk, across
+    # however many calls schedule them.
+    experiment, decoder, noise, program, sampler, tilted = \
+        _task_context(task)
     adaptive_decoder = task.recovery != "static"
     if adaptive_decoder:
         # Imported lazily (repro.detect sits above the decoder layer).
@@ -226,72 +334,79 @@ def iter_task_chunks(task: InjectionTask,
         t0 = time.perf_counter()
         end = min(total, pos + chunk)
         errors = raw = corr = 0
+        block_weights = [] if sampler.weighted else None
         block = pos
         while block < end:
             size = min(SIM_BLOCK, end - block)
             rng = np.random.default_rng(
                 block_seed(task.seed, block // SIM_BLOCK))
-            record_words = None
-            if program is not None:
-                sim = FrameSimulator(experiment.circuit.num_qubits,
-                                     size, rng=rng)
-                record_words = sim.run_packed(program)
-                records = np.ascontiguousarray(
-                    unpack_words(record_words, size).T)
-            else:
-                records = run_batch_noisy(experiment.circuit, noise, size,
-                                          rng=rng, backend="tableau")
-            if adaptive_decoder:
-                # Frame-native detection: the packed record words feed
-                # the streaming detector without an unpack.
-                decoded = decoder.decode_batch(experiment, records,
-                                               record_words=record_words)
-            else:
-                decoded = decoder.decode_batch(experiment, records)
-            readout = experiment.raw_readout(records)
-            errors += decoded.num_errors
-            raw += int(np.count_nonzero(readout != experiment.expected_logical))
-            corr += int(np.count_nonzero(decoded.corrections))
+            b_err, b_raw, b_corr, b_stats = execute_block(
+                experiment, decoder, noise, program, sampler, tilted,
+                size, rng, adaptive_decoder=adaptive_decoder)
+            errors += b_err
+            raw += b_raw
+            corr += b_corr
+            if block_weights is not None:
+                block_weights.append((b_stats.wsum, b_stats.wsq,
+                                      b_stats.esum, b_stats.esq))
             block += size
         yield ChunkResult(start=pos, shots=end - pos, errors=errors,
                           raw_errors=raw, corrections_applied=corr,
-                          elapsed_s=time.perf_counter() - t0)
+                          elapsed_s=time.perf_counter() - t0,
+                          block_weights=(None if block_weights is None
+                                         else tuple(block_weights)))
         pos = end
 
 
 def _assemble(task: InjectionTask, shots: int, errors: int, raw: int,
-              corr: int, elapsed: float, chunks: int) -> InjectionResult:
+              corr: int, elapsed: float, chunks: int,
+              weights: Optional[Tuple[float, float, float, float]] = None
+              ) -> InjectionResult:
     _, _, swap_count = _prepared(
         task.code, task.rounds, task.basis, task.arch, task.layout,
         task.decoder, task.readout)
     return InjectionResult(
         task=task, shots=shots, errors=errors, raw_errors=raw,
         corrections_applied=corr, swap_count=swap_count,
-        elapsed_s=elapsed, chunks=max(chunks, 1))
+        elapsed_s=elapsed, chunks=max(chunks, 1), weights=weights)
+
+
+def _weight_stats(task: InjectionTask, shots: int,
+                  weights: Optional[Tuple[float, float, float, float]]
+                  ) -> Optional[WeightStats]:
+    """The policy-facing weighted moments, or ``None`` for plain MC."""
+    if not task.sampler.weighted:
+        return None
+    w = weights or (0.0, 0.0, 0.0, 0.0)
+    return WeightStats(shots=shots, wsum=w[0], wsq=w[1], esum=w[2],
+                       esq=w[3], iid=task.sampler.kind != "split")
 
 
 def run_task(task: InjectionTask,
              chunk_shots: Optional[int] = None,
              adaptive: Optional[AdaptivePolicy] = None,
-             prior: Tuple[int, int, int, int, float, int] = (0, 0, 0, 0,
-                                                             0.0, 0),
+             prior: Tuple = (0, 0, 0, 0, 0.0, 0),
              on_chunk: Optional[Callable[[ChunkResult], None]] = None
              ) -> InjectionResult:
     """Execute one campaign point (picklable module-level worker).
 
     ``prior`` — ``(shots, errors, raw_errors, corrections, elapsed_s,
-    chunks)`` already banked for this point (store resume); execution
-    continues at the next block boundary.  With an ``adaptive`` policy
-    the point runs watermark segment by watermark segment and stops at
-    the first decision threshold where the precision target is met,
-    capped at ``adaptive.ceiling(task.shots)`` — the stop shot depends
-    only on the canonical block stream, never on ``chunk_shots`` (which
-    keeps its role as checkpoint granularity within a segment) or on
-    how a parallel scheduler interleaved the work.  Without a policy
-    exactly ``task.shots`` run.  ``on_chunk`` fires after each finished
-    chunk (serial checkpoint streaming).
+    chunks[, weight_moments])`` already banked for this point (store
+    resume); execution continues at the next block boundary.  With an
+    ``adaptive`` policy the point runs watermark segment by watermark
+    segment and stops at the first decision threshold where the
+    precision target is met, capped at ``adaptive.ceiling(task.shots)``
+    — the stop shot depends only on the canonical block stream, never
+    on ``chunk_shots`` (which keeps its role as checkpoint granularity
+    within a segment) or on how a parallel scheduler interleaved the
+    work.  Without a policy exactly ``task.shots`` run.  ``on_chunk``
+    fires after each finished chunk (serial checkpoint streaming).
     """
-    shots, errors, raw, corr, elapsed, nchunks = prior
+    shots, errors, raw, corr, elapsed, nchunks, weights = \
+        normalize_prior(prior)
+    weighted = task.sampler.weighted
+    if weighted and weights is None:
+        weights = (0.0, 0.0, 0.0, 0.0)
     target = adaptive.ceiling(task.shots) if adaptive else task.shots
     while shots < target:
         # Decisions fire only ON the watermark grid: a prior that
@@ -300,7 +415,9 @@ def run_task(task: InjectionTask,
         # the evaluated prefixes — and the stop shot — match an
         # uninterrupted run exactly.
         if adaptive and shots % adaptive.decision_step == 0 and shots \
-                and adaptive.should_stop(errors, shots, task.shots):
+                and adaptive.should_stop(errors, shots, task.shots,
+                                         _weight_stats(task, shots,
+                                                       weights)):
             break
         segment_end = (adaptive.next_watermark(shots, task.shots)
                        if adaptive else target)
@@ -313,14 +430,17 @@ def run_task(task: InjectionTask,
             corr += chunk.corrections_applied
             elapsed += chunk.elapsed_s
             nchunks += 1
+            if weighted:
+                weights = chunk.fold_weights(weights)
             if on_chunk is not None:
                 on_chunk(chunk)
-    return _assemble(task, shots, errors, raw, corr, elapsed, nchunks)
+    return _assemble(task, shots, errors, raw, corr, elapsed, nchunks,
+                     weights if weighted else None)
 
 
 def _replay_prior(store: CampaignStore, key: str,
                   adaptive: Optional[AdaptivePolicy],
-                  task_shots: int) -> Tuple[int, int, int, int, float, int]:
+                  task: InjectionTask) -> Tuple:
     """The resumable prior for one point, policy decisions replayed.
 
     Without a policy this is :meth:`CampaignStore.partial`.  With one,
@@ -336,10 +456,13 @@ def _replay_prior(store: CampaignStore, key: str,
     unrecoverable, so the engine re-samples from the last aligned
     boundary instead — canonical blocks make the re-run bit-identical.
     """
+    task_shots = task.shots
     if adaptive is None:
         return store.partial(key)
     shots = errors = raw = corr = nchunks = 0
     elapsed = 0.0
+    weights = (0.0, 0.0, 0.0, 0.0)
+    weighted = task.sampler.weighted
     ceiling = adaptive.ceiling(task_shots)
     for chunk in store.chunks_for(key):
         if chunk.start != shots or shots >= ceiling:
@@ -354,10 +477,15 @@ def _replay_prior(store: CampaignStore, key: str,
         corr += chunk.corrections_applied
         elapsed += chunk.elapsed_s
         nchunks += 1
-        if shots >= boundary and adaptive.should_stop(errors, shots,
-                                                      task_shots):
+        if weighted:
+            weights = chunk.fold_weights(weights)
+        if shots >= boundary and adaptive.should_stop(
+                errors, shots, task_shots,
+                _weight_stats(task, shots, weights) if weighted
+                else None):
             break
-    return shots, errors, raw, corr, elapsed, nchunks
+    return (shots, errors, raw, corr, elapsed, nchunks,
+            weights if weighted else None)
 
 
 def _reusable(banked: Optional[InjectionResult],
@@ -377,7 +505,9 @@ def _reusable(banked: Optional[InjectionResult],
     if adaptive is None:
         return banked.shots >= banked.task.shots
     return adaptive.should_stop(banked.errors, banked.shots,
-                                banked.task.shots)
+                                banked.task.shots,
+                                banked.weight_stats if banked.weighted
+                                else None)
 
 
 def _run_point(payload: Tuple[InjectionTask, Optional[int],
@@ -426,7 +556,10 @@ class Campaign:
         return len(self.tasks)
 
     def _seeded(self, backend: Optional[str] = None,
-                recovery: Optional[str] = None) -> List[InjectionTask]:
+                recovery: Optional[str] = None,
+                sampler: Union[SamplerSpec, str, None] = None
+                ) -> List[InjectionTask]:
+        sampler = as_sampler(sampler) if sampler is not None else None
         out = []
         for i, t in enumerate(self.tasks):
             if t.seed == 0:
@@ -435,21 +568,31 @@ class Campaign:
                 t = dataclasses.replace(t, backend=backend)
             if recovery is not None and t.recovery != recovery:
                 t = dataclasses.replace(t, recovery=recovery)
+            if sampler is not None and t.sampler != sampler:
+                t = dataclasses.replace(t, sampler=sampler)
+            if t.sampler.auto_tilt:
+                # Resolve auto-tilt in the parent, once per task:
+                # workers receive the pinned tilt instead of each
+                # re-running the (deterministic) pilot, and every run
+                # mode keys the store by the same resolved spec.
+                t = dataclasses.replace(t, sampler=_resolved_sampler(t))
             out.append(t)
         return out
 
     def banked(self, store: Union[CampaignStore, str, None],
                adaptive: Optional[AdaptivePolicy] = None,
                backend: Optional[str] = None,
-               recovery: Optional[str] = None) -> int:
+               recovery: Optional[str] = None,
+               sampler: Union[SamplerSpec, str, None] = None) -> int:
         """How many of *this campaign's* points a resume would skip
         (store files are shared across campaigns, so ``len(store)``
-        over-counts).  Pass the same ``backend``/``recovery`` overrides
-        as the run: both participate in the task key."""
+        over-counts).  Pass the same ``backend``/``recovery``/
+        ``sampler`` overrides as the run: all participate in the task
+        key."""
         store = CampaignStore.coerce(store)
         if store is None:
             return 0
-        return sum(1 for t in self._seeded(backend, recovery)
+        return sum(1 for t in self._seeded(backend, recovery, sampler)
                    if _reusable(store.result_for(t), adaptive))
 
     def run(self, max_workers: Optional[int] = None,
@@ -458,7 +601,8 @@ class Campaign:
             resume: Union[CampaignStore, str, None] = None,
             backend: Optional[str] = None,
             recovery: Optional[str] = None,
-            workers: Optional[int] = None) -> ResultSet:
+            workers: Optional[int] = None,
+            sampler: Union[SamplerSpec, str, None] = None) -> ResultSet:
         """Run all tasks; ``max_workers=1`` forces serial execution.
 
         ``workers`` — hand the campaign to the :mod:`repro.parallel`
@@ -481,9 +625,12 @@ class Campaign:
         backend ("auto"/"frames"/"tableau"); since the backend is part
         of the task identity, stores keep per-backend results distinct.
         ``recovery`` likewise overrides every task's burst-recovery
-        policy ("static"/"reweight"/"discard_window").
+        policy ("static"/"reweight"/"discard_window"), and ``sampler``
+        the rare-event sampling measure ("mc"/"tilt"/"split", a
+        :class:`~repro.rare.sampler.SamplerSpec`, or a string like
+        "tilt:8" — see :func:`repro.rare.sampler.as_sampler`).
         """
-        seeded = self._seeded(backend, recovery)
+        seeded = self._seeded(backend, recovery, sampler)
         store = CampaignStore.coerce(resume)
         if workers is None and max_workers is None:
             # The sweep-spec default fills in only when the caller
@@ -507,14 +654,14 @@ class Campaign:
         payloads = []
         keys: List[Optional[str]] = [None] * len(seeded)
         for i, t in enumerate(seeded):
-            prior = (0, 0, 0, 0, 0.0, 0)
+            prior = (0, 0, 0, 0, 0.0, 0, None)
             if store is not None:
                 keys[i] = task_key(t)
                 banked = store.result_for(t)
                 if _reusable(banked, adaptive):
                     results[i] = banked
                     continue
-                prior = _replay_prior(store, keys[i], adaptive, t.shots)
+                prior = _replay_prior(store, keys[i], adaptive, t)
             todo.append(i)
             payloads.append((t, chunk_shots, adaptive, prior))
 

@@ -9,6 +9,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..rare.stats import WeightStats, wilson_from_rate
 from .spec import InjectionTask
 
 #: Canonical simulation block: the batch size every shot is actually
@@ -28,12 +29,53 @@ def wilson_interval(errors: int, shots: int, z: float = 1.96
     """
     if shots <= 0:
         return (0.0, 1.0)
-    p = errors / shots
-    denom = 1.0 + z * z / shots
-    centre = (p + z * z / (2 * shots)) / denom
-    half = (z / denom) * math.sqrt(p * (1 - p) / shots
-                                   + z * z / (4 * shots * shots))
-    return (max(0.0, centre - half), min(1.0, centre + half))
+    # Shared float core (repro.rare.stats): the weighted ESS-based
+    # interval evaluates the identical expression, so weighted and
+    # unweighted decisions agree bit-for-bit at unit weights.
+    return wilson_from_rate(errors / shots, shots, z)
+
+
+#: One block's (or an accumulated prefix's) importance-weight moments.
+WeightMoments = Tuple[float, float, float, float]
+
+
+def fold_moments(acc: WeightMoments, blocks: Sequence[WeightMoments]
+                 ) -> WeightMoments:
+    """Left-fold per-block weight moments onto an accumulator.
+
+    Weighted counts are floats, and float addition is not associative —
+    so the engine defines ONE canonical reduction: a strict left fold
+    over the canonical simulation blocks in stream order.  Chunks store
+    their moments per block (not pre-summed) precisely so that every
+    aggregator — serial streaming, store resume, the parallel
+    scheduler's contiguous frontier — performs this same fold and lands
+    on bit-identical weighted counts whatever the chunk grouping or
+    worker count.
+    """
+    wsum, wsq, esum, esq = acc
+    for b in blocks:
+        wsum += b[0]
+        wsq += b[1]
+        esum += b[2]
+        esq += b[3]
+    return (wsum, wsq, esum, esq)
+
+
+def normalize_prior(prior) -> Tuple[int, int, int, int, float, int,
+                                    Optional[WeightMoments]]:
+    """Coerce a banked-counts prior into its canonical 7-tuple.
+
+    Priors are ``(shots, errors, raw_errors, corrections, elapsed_s,
+    chunks)`` with an optional seventh element holding the accumulated
+    importance-weight moments ``(wsum, wsq, esum, esq)`` (or ``None``
+    for plain-MC history).  The 6-tuple form predates weighted
+    sampling and stays accepted everywhere a prior is.
+    """
+    if len(prior) == 6:
+        return (*tuple(prior), None)
+    if len(prior) == 7:
+        return tuple(prior)
+    raise ValueError(f"malformed prior {prior!r}")
 
 
 @dataclass(frozen=True)
@@ -52,24 +94,62 @@ class ChunkResult:
     raw_errors: int
     corrections_applied: int
     elapsed_s: float = 0.0
+    #: Per-canonical-block importance-weight moments, in block order —
+    #: one ``(wsum, wsq, esum, esq)`` tuple per simulation block the
+    #: chunk covers (see :func:`fold_moments` for why they are kept
+    #: unsummed).  ``None`` for plain MC (unit weights, derivable from
+    #: the counts), keeping legacy rows/stores valid.
+    block_weights: Optional[Tuple[WeightMoments, ...]] = None
 
     @property
     def end(self) -> int:
         return self.start + self.shots
 
+    @property
+    def weighted(self) -> bool:
+        return self.block_weights is not None
+
+    def fold_weights(self, acc: WeightMoments) -> WeightMoments:
+        """Fold this chunk's block moments onto a running accumulator
+        (unit-weight moments for MC chunks)."""
+        if self.block_weights is None:
+            return fold_moments(acc, [(float(self.shots),
+                                       float(self.shots),
+                                       float(self.errors),
+                                       float(self.errors))])
+        return fold_moments(acc, self.block_weights)
+
+    @property
+    def weight_stats(self) -> WeightStats:
+        """This chunk's weighted moments (unit-weight for MC chunks)."""
+        if self.block_weights is None:
+            return WeightStats.from_counts(self.shots, self.errors)
+        wsum, wsq, esum, esq = self.fold_weights((0.0, 0.0, 0.0, 0.0))
+        return WeightStats(shots=self.shots, wsum=wsum, wsq=wsq,
+                           esum=esum, esq=esq)
+
     def to_row(self) -> Dict[str, object]:
-        return {"start": self.start, "shots": self.shots,
-                "errors": self.errors, "raw_errors": self.raw_errors,
-                "corrections": self.corrections_applied,
-                "elapsed_s": self.elapsed_s}
+        row: Dict[str, object] = {
+            "start": self.start, "shots": self.shots,
+            "errors": self.errors, "raw_errors": self.raw_errors,
+            "corrections": self.corrections_applied,
+            "elapsed_s": self.elapsed_s}
+        if self.block_weights is not None:
+            row["weights"] = [list(b) for b in self.block_weights]
+        return row
 
     @classmethod
     def from_row(cls, row: Dict[str, object]) -> "ChunkResult":
+        weights = None
+        if row.get("weights") is not None:
+            weights = tuple(tuple(float(v) for v in b)
+                            for b in row["weights"])
         return cls(start=int(row["start"]), shots=int(row["shots"]),
                    errors=int(row["errors"]),
                    raw_errors=int(row["raw_errors"]),
                    corrections_applied=int(row["corrections"]),
-                   elapsed_s=float(row.get("elapsed_s", 0.0)))
+                   elapsed_s=float(row.get("elapsed_s", 0.0)),
+                   block_weights=weights)
 
 
 @dataclass
@@ -84,10 +164,39 @@ class InjectionResult:
     swap_count: int = 0
     elapsed_s: float = 0.0
     chunks: int = 1            # streaming chunks the counts aggregate
+    #: Importance-weight moments for rare-event samplers (None for MC).
+    weights: Optional[Tuple[float, float, float, float]] = None
+
+    @property
+    def weighted(self) -> bool:
+        return self.weights is not None
+
+    @property
+    def weight_stats(self) -> WeightStats:
+        if self.weights is None:
+            return WeightStats.from_counts(self.shots, self.errors)
+        wsum, wsq, esum, esq = self.weights
+        return WeightStats(shots=self.shots, wsum=wsum, wsq=wsq,
+                           esum=esum, esq=esq,
+                           iid=self.task.sampler.kind != "split")
 
     @property
     def logical_error_rate(self) -> float:
+        """Point LER: the self-normalized weighted estimate for
+        rare-event samplers, the plain rate otherwise."""
+        if self.weighted:
+            return self.weight_stats.estimate("sn")
         return self.errors / self.shots if self.shots else 0.0
+
+    @property
+    def ht_error_rate(self) -> float:
+        """Horvitz-Thompson (unbiased) weighted estimate."""
+        return self.weight_stats.estimate("ht")
+
+    @property
+    def effective_shots(self) -> float:
+        """Kish effective sample size (== shots for plain MC)."""
+        return self.weight_stats.ess
 
     @property
     def raw_error_rate(self) -> float:
@@ -95,6 +204,8 @@ class InjectionResult:
 
     @property
     def confidence_interval(self) -> Tuple[float, float]:
+        if self.weighted:
+            return self.weight_stats.wilson_interval()
         return wilson_interval(self.errors, self.shots)
 
     @property
@@ -103,6 +214,15 @@ class InjectionResult:
         deterministic payload, excluding timing/bookkeeping."""
         return (self.shots, self.errors, self.raw_errors,
                 self.corrections_applied)
+
+    @property
+    def payload(self) -> Tuple:
+        """The full deterministic payload: counts plus, for weighted
+        runs, the four weight moments — two runs of a weighted point
+        must agree on *this*, not just on :attr:`counts`."""
+        if self.weights is None:
+            return self.counts
+        return self.counts + self.weights
 
     def to_row(self) -> Dict[str, object]:
         lo, hi = self.confidence_interval
@@ -122,7 +242,12 @@ class InjectionResult:
             "seed": self.task.seed,
             "backend": self.task.backend,
             "recovery": self.task.recovery,
+            "sampler": self.task.sampler.label,
         }
+        if self.weighted:
+            stats = self.weight_stats
+            row["ess"] = stats.ess
+            row["ler_ht"] = stats.estimate("ht")
         row.update(dict(self.task.tags))
         return row
 
@@ -185,6 +310,11 @@ class ResultSet:
         """Per-point deterministic payloads, in task order — two runs of
         the same campaign are equal iff their ``counts()`` are."""
         return [r.counts for r in self.results]
+
+    def payloads(self) -> List[Tuple]:
+        """Like :meth:`counts` but including weight moments, so two
+        weighted runs must also agree on every importance weight."""
+        return [r.payload for r in self.results]
 
     def group_by(self, key: Callable[[InjectionResult], object]
                  ) -> Dict[object, "ResultSet"]:

@@ -22,6 +22,7 @@ from ..codes import (
     build_memory_experiment,
 )
 from ..frames.backend import validate_backend
+from ..rare.sampler import SamplerSpec
 
 
 @dataclass(frozen=True)
@@ -150,6 +151,13 @@ class InjectionTask:
     #: Part of the task identity (it changes the counted errors), so it
     #: participates in the store key.
     recovery: str = "static"
+    #: Rare-event sampling measure (:mod:`repro.rare`): plain Monte
+    #: Carlo by default; "tilt" boosts intrinsic depolarizing sites and
+    #: carries per-shot likelihood-ratio weights, "split" resamples the
+    #: frame batch toward high-syndrome trajectories at round
+    #: boundaries.  The sampler selects the random stream *and* the
+    #: estimator, so it participates in the store key.
+    sampler: SamplerSpec = SamplerSpec()
     shots: int = 2000
     seed: int = 0
     #: Free-form labels propagated into result rows (e.g. sweep axes).
@@ -189,6 +197,8 @@ class InjectionTask:
         parts.append(f"p={self.intrinsic_p:g}")
         if self.recovery != "static":
             parts.append(f"+{self.recovery}")
+        if self.sampler.weighted:
+            parts.append(f"~{self.sampler.label}")
         return " ".join(parts)
 
 

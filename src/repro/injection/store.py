@@ -34,7 +34,14 @@ from .spec import InjectionTask
 #: v3: FaultSpec grew ``strike_round``/``intensity`` and InjectionTask
 #: ``recovery`` (detection PR) — the burst scenario and decode policy
 #: both change a point's counts, so they must shape the key.
-KEY_VERSION = 3
+#: v4: InjectionTask grew the ``sampler`` spec (rare-event importance
+#: sampling PR) — the sampling measure selects the random stream and
+#: the estimator, so it must shape the key.
+KEY_VERSION = 4
+
+
+#: Zero weight-moment accumulator ``(wsum, wsq, esum, esq)``.
+_ZERO_W = (0.0, 0.0, 0.0, 0.0)
 
 
 def canonical_task(task: InjectionTask) -> Dict[str, object]:
@@ -132,22 +139,26 @@ class CampaignStore:
     def chunks_for(self, key: str) -> List[ChunkResult]:
         return sorted(self._chunks.get(key, ()), key=lambda c: c.start)
 
-    def partial(self, key: str) -> Tuple[int, int, int, int, float, int]:
+    def partial(self, key: str) -> Tuple:
         """Aggregate the resumable chunk prefix recorded for ``key``.
 
         Returns ``(shots, errors, raw_errors, corrections, elapsed_s,
-        num_chunks)``.  Chunks after a gap or overlap (e.g. from a
-        mangled merge) are discarded rather than double-counted, and the
-        prefix is trimmed back to the last ``SIM_BLOCK`` boundary: a
-        point that *completed* on a partial final block (shots not a
-        block multiple) is reused via its done record, but execution can
-        only be extended from an aligned position — the truncated
-        block's counts are dropped and resampled at full size when a
-        later run raises the ceiling.
+        num_chunks, weights)`` — ``weights`` is the accumulated
+        ``(wsum, wsq, esum, esq)`` moments when any banked chunk was
+        importance-weighted, else ``None``.  Chunks after a gap or
+        overlap (e.g. from a mangled merge) are discarded rather than
+        double-counted, and the prefix is trimmed back to the last
+        ``SIM_BLOCK`` boundary: a point that *completed* on a partial
+        final block (shots not a block multiple) is reused via its done
+        record, but execution can only be extended from an aligned
+        position — the truncated block's counts are dropped and
+        resampled at full size when a later run raises the ceiling.
         """
         shots = errors = raw = corr = nchunks = 0
         elapsed = 0.0
-        aligned = (0, 0, 0, 0, 0.0, 0)
+        weights = _ZERO_W
+        weighted = False
+        aligned = (0, 0, 0, 0, 0.0, 0, None)
         for chunk in self.chunks_for(key):
             if chunk.start != shots:
                 break
@@ -157,10 +168,15 @@ class CampaignStore:
             corr += chunk.corrections_applied
             elapsed += chunk.elapsed_s
             nchunks += 1
+            if chunk.weighted:
+                weighted = True
+            weights = chunk.fold_weights(weights)
             if shots % SIM_BLOCK == 0:
-                aligned = (shots, errors, raw, corr, elapsed, nchunks)
+                aligned = (shots, errors, raw, corr, elapsed, nchunks,
+                           weights if weighted else None)
         if shots % SIM_BLOCK == 0:
-            return shots, errors, raw, corr, elapsed, nchunks
+            return (shots, errors, raw, corr, elapsed, nchunks,
+                    weights if weighted else None)
         return aligned
 
     def result_for(self, task: InjectionTask) -> Optional[InjectionResult]:
@@ -168,6 +184,10 @@ class CampaignStore:
         rec = self._done.get(task_key(task))
         if rec is None:
             return None
+        weights = None
+        if "wsum" in rec:
+            weights = (float(rec["wsum"]), float(rec["wsq"]),
+                       float(rec["esum"]), float(rec["esq"]))
         return InjectionResult(
             task=task,
             shots=int(rec["shots"]),
@@ -177,6 +197,7 @@ class CampaignStore:
             swap_count=int(rec.get("swap_count", 0)),
             elapsed_s=float(rec.get("elapsed_s", 0.0)),
             chunks=int(rec.get("chunks", 1)),
+            weights=weights,
         )
 
     def __len__(self) -> int:
@@ -208,6 +229,8 @@ class CampaignStore:
             "label": result.task.label,
             "task": canonical_task(result.task),
         }
+        if result.weights is not None:
+            rec["wsum"], rec["wsq"], rec["esum"], rec["esq"] = result.weights
         self._append(rec)
         self._done[key] = rec
 

@@ -21,7 +21,9 @@ Example spec::
     }
 
 Scalar knobs (``rounds``, ``basis``, ``decoder``, ``readout``,
-``layout``, ``backend``, ``recovery``) apply to every task.  A
+``layout``, ``backend``, ``recovery``, ``sampler`` — a kind string
+like ``"tilt:8"`` or a mapping, see :func:`repro.rare.sampler.
+as_sampler`) apply to every task.  A
 ``"workers"`` key sets the campaign's default worker-process count
 (``Campaign.run`` routes >1 through the :mod:`repro.parallel`
 work-stealing scheduler; counts stay bit-identical either way).  Each
@@ -30,8 +32,10 @@ task is tagged with its axis coordinates so results group naturally.
 
 from __future__ import annotations
 
+import difflib
 from typing import Any, List, Mapping, Optional, Sequence
 
+from ..rare.sampler import as_sampler
 from .campaign import Campaign
 from .spec import ArchSpec, CodeSpec, FaultSpec, InjectionTask
 
@@ -39,9 +43,22 @@ from .spec import ArchSpec, CodeSpec, FaultSpec, InjectionTask
 #: loudly on — a silently ignored axis would corrupt a week-long sweep).
 SPEC_KEYS = frozenset({
     "codes", "archs", "faults", "p_values", "shots", "rounds", "basis",
-    "decoder", "readout", "layout", "backend", "recovery", "root_seed",
-    "tags", "workers",
+    "decoder", "readout", "layout", "backend", "recovery", "sampler",
+    "root_seed", "tags", "workers",
 })
+
+
+def _unknown_key_error(unknown) -> ValueError:
+    """Unknown-key failure with a did-you-mean hint per typo."""
+    hints = []
+    for key in sorted(unknown):
+        close = difflib.get_close_matches(str(key), sorted(SPEC_KEYS),
+                                          n=1, cutoff=0.6)
+        hints.append(f"{key!r}" + (f" (did you mean {close[0]!r}?)"
+                                   if close else ""))
+    return ValueError(
+        f"unknown sweep spec key{'s' if len(hints) > 1 else ''}: "
+        f"{', '.join(hints)}; recognised: {sorted(SPEC_KEYS)}")
 
 
 def _code(entry: Any) -> CodeSpec:
@@ -96,8 +113,7 @@ def _axes(spec: Mapping[str, Any]):
     can never disagree with the expansion)."""
     unknown = set(spec) - SPEC_KEYS
     if unknown:
-        raise ValueError(f"unknown sweep spec keys: {sorted(unknown)}; "
-                         f"recognised: {sorted(SPEC_KEYS)}")
+        raise _unknown_key_error(unknown)
     for axis in ("codes", "archs", "faults", "p_values"):
         if axis in spec and not spec[axis]:
             raise ValueError(f"sweep spec axis {axis!r} is empty — the "
@@ -129,6 +145,7 @@ def build_sweep(spec: Mapping[str, Any]) -> Campaign:
         layout=str(spec.get("layout", "best")),
         backend=str(spec.get("backend", "auto")),
         recovery=str(spec.get("recovery", "static")),
+        sampler=as_sampler(spec.get("sampler")),
     )
 
     tasks: List[InjectionTask] = []

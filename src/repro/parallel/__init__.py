@@ -9,7 +9,8 @@ stop decisions that are bit-identical to a serial run.  Reached through
 """
 
 from .plan import ChunkLease, TaskPlan, plan_leases
-from .scheduler import WorkStealingScheduler, absorb_stale_shards
+from .scheduler import (WorkStealingScheduler, absorb_stale_shards,
+                        lease_run_size)
 from .worker import execute_lease, shard_path, worker_main
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "WorkStealingScheduler",
     "absorb_stale_shards",
     "execute_lease",
+    "lease_run_size",
     "plan_leases",
     "shard_path",
     "worker_main",

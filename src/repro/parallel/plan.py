@@ -23,12 +23,17 @@ from collections import deque
 from typing import Deque, Dict, List, NamedTuple, Optional, Tuple
 
 from ..injection.adaptive import AdaptivePolicy
-from ..injection.results import SIM_BLOCK, ChunkResult, InjectionResult
+from ..injection.results import (SIM_BLOCK, ChunkResult, InjectionResult,
+                                 normalize_prior)
+from ..rare.stats import WeightStats
+
 from ..injection.spec import InjectionTask
 
 #: Counts tuple banked per task before the run (store resume):
-#: ``(shots, errors, raw_errors, corrections, elapsed_s, chunks)``.
-Prior = Tuple[int, int, int, int, float, int]
+#: ``(shots, errors, raw_errors, corrections, elapsed_s, chunks)``,
+#: optionally extended with accumulated importance-weight moments
+#: ``(wsum, wsq, esum, esq)`` as a seventh element.
+Prior = Tuple
 
 
 class ChunkLease(NamedTuple):
@@ -82,7 +87,8 @@ class TaskPlan:
         self.task = task
         self.adaptive = adaptive
         (self.prior_shots, prior_errors, prior_raw, prior_corr,
-         prior_elapsed, self.prior_chunks) = prior
+         prior_elapsed, self.prior_chunks, prior_weights) = \
+            normalize_prior(prior)
         # Cumulative counts along the contiguous frontier.
         self.shots = self.prior_shots
         self.errors = prior_errors
@@ -90,6 +96,12 @@ class TaskPlan:
         self.corrections = prior_corr
         self.elapsed_s = prior_elapsed
         self.chunks = self.prior_chunks
+        #: Accumulated weight moments along the frontier (weighted
+        #: samplers only) — folded per canonical block, so the values
+        #: are bit-identical to a serial run's.
+        self.weighted = task.sampler.weighted
+        self.weights = (prior_weights or (0.0, 0.0, 0.0, 0.0)) \
+            if self.weighted else None
         self.target = (adaptive.ceiling(task.shots) if adaptive
                        else task.shots)
         # Replay the prior's decision only ON the watermark grid (an
@@ -99,7 +111,8 @@ class TaskPlan:
                         and self.shots > 0
                         and self.shots % adaptive.decision_step == 0
                         and adaptive.should_stop(self.errors, self.shots,
-                                                 task.shots))
+                                                 task.shots,
+                                                 self._weight_stats()))
         if self.stopped:
             self.target = self.shots
         self.pending: Deque[ChunkLease] = deque(plan_leases(
@@ -169,13 +182,25 @@ class TaskPlan:
             self.corrections += nxt.corrections_applied
             self.elapsed_s += nxt.elapsed_s
             self.chunks += 1
+            if self.weighted:
+                self.weights = nxt.fold_weights(self.weights)
             if self.adaptive is not None and self.shots >= watermark \
                     and self.shots < self.target \
                     and self.adaptive.should_stop(
-                        self.errors, self.shots, self.task.shots):
+                        self.errors, self.shots, self.task.shots,
+                        self._weight_stats()):
                 self._stop_at_frontier()
                 break
         return True
+
+    def _weight_stats(self) -> Optional[WeightStats]:
+        """Frontier weight moments for policy decisions (None for MC)."""
+        if not self.weighted:
+            return None
+        wsum, wsq, esum, esq = self.weights
+        return WeightStats(shots=self.shots, wsum=wsum, wsq=wsq,
+                           esum=esum, esq=esq,
+                           iid=self.task.sampler.kind != "split")
 
     def _stop_at_frontier(self) -> None:
         """Adaptive stop: truncate the plan at the current frontier."""
@@ -197,4 +222,5 @@ class TaskPlan:
 
         return _assemble(self.task, self.shots, self.errors,
                          self.raw_errors, self.corrections,
-                         self.elapsed_s, self.chunks)
+                         self.elapsed_s, self.chunks,
+                         self.weights if self.weighted else None)

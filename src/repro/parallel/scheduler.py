@@ -57,8 +57,38 @@ from .worker import execute_lease, shard_path, worker_main
 #: Enough to hide the queue round-trip behind compute; small enough
 #: that nearly all planned work stays on the parent side, stealable.
 PIPELINE_DEPTH = 2
-#: Upper bound on a single lease run handed to one worker.
+#: Lease run handed to one worker before any wall-clock observation.
 MAX_LEASE_RUN = 8
+#: Adaptive lease sizing: target wall-clock for one refill's lease run.
+#: Once a task's chunk rate is observed, runs are sized so a worker
+#: holds roughly this many seconds of leased work — deep/slow tasks
+#: shrink to single-lease runs (everything else stays stealable),
+#: cheap tasks batch up to :data:`LEASE_RUN_CAP` to amortise the queue
+#: round-trip.
+TARGET_LEASE_RUN_S = 1.0
+#: Hard cap on an adaptively-sized lease run.
+LEASE_RUN_CAP = 32
+#: EWMA smoothing for observed per-shot wall-clock.
+_RATE_ALPHA = 0.5
+
+
+def lease_run_size(pending: int, alive: int, chunk_shots: int,
+                   sec_per_shot: Optional[float]) -> int:
+    """How many leases one refill should hand a worker.
+
+    Pure sizing rule (unit-testable, scheduling-only — counts never
+    depend on it): before any observation, fall back to the fixed
+    fair-share bound; afterwards, target :data:`TARGET_LEASE_RUN_S`
+    seconds of work per run from the task's observed per-shot
+    wall-clock, clamped by the fair share so one worker can never
+    drain a task other workers are starving for.
+    """
+    fair = max(1, -(-pending // max(1, alive)))
+    if sec_per_shot is None or sec_per_shot <= 0.0:
+        return max(1, min(MAX_LEASE_RUN, fair))
+    per_lease = sec_per_shot * max(1, chunk_shots)
+    desired = max(1, int(TARGET_LEASE_RUN_S / max(per_lease, 1e-9)))
+    return max(1, min(LEASE_RUN_CAP, fair, desired))
 
 
 def absorb_stale_shards(store: CampaignStore) -> Optional[Dict[str, int]]:
@@ -163,6 +193,9 @@ class WorkStealingScheduler:
                 wid: deque() for wid in workers}
             self._inflight: Dict[int, Dict[Tuple[int, int], ChunkLease]] = {
                 wid: {} for wid in workers}
+            #: Observed per-shot wall-clock EWMA per task (adaptive
+            #: lease sizing; scheduling-only state).
+            self._sec_per_shot: Dict[int, float] = {}
             self._alive = set(workers)
             self._heap: List[Tuple[int, int, int]] = []
             self._heap_seq = 0
@@ -216,6 +249,11 @@ class WorkStealingScheduler:
                   chunk: ChunkResult) -> None:
         plan = self._plans[task_index]
         self._inflight.get(wid, {}).pop((task_index, chunk.start), None)
+        if chunk.shots and chunk.elapsed_s > 0.0:
+            rate = chunk.elapsed_s / chunk.shots
+            prev = self._sec_per_shot.get(task_index)
+            self._sec_per_shot[task_index] = rate if prev is None else \
+                _RATE_ALPHA * rate + (1.0 - _RATE_ALPHA) * prev
         target_before = plan.target
         plan.record(chunk)
         if plan.target < target_before:
@@ -254,8 +292,9 @@ class WorkStealingScheduler:
             plan = self._plans[task_index]
             if not plan.pending:
                 continue
-            run = max(1, min(MAX_LEASE_RUN,
-                             -(-len(plan.pending) // max(1, len(self._alive)))))
+            run = lease_run_size(len(plan.pending), len(self._alive),
+                                 self.chunk_shots,
+                                 self._sec_per_shot.get(task_index))
             self._deques[wid].extend(plan.take(run))
             self._push_plan(plan)
             return True

@@ -148,6 +148,67 @@ class TestCampaignCommand:
         assert "1 already complete" in capsys.readouterr().out
 
 
+class TestRareCommand:
+    def test_pilot_only_table(self, capsys):
+        assert main(["rare", "--distance", "3", "--p", "0.002",
+                     "--pilot-shots", "512", "--pilot-only"]) == 0
+        out = capsys.readouterr().out
+        assert "Rare-event pilot" in out
+        assert "var_reduction" in out
+        assert "*" in out  # one ladder rung is chosen
+
+    def test_estimate_reports_variance_reduction(self, capsys):
+        assert main(["rare", "--distance", "3", "--p", "0.004",
+                     "--shots", "2048", "--pilot-shots", "512",
+                     "--tilt", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tilted estimate" in out
+
+    def test_campaign_sampler_override(self, capsys, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "codes": [["xxzz", [3, 3]]], "p_values": [0.004],
+            "readout": "data", "shots": 1024}))
+        assert main(["campaign", str(spec), "--workers", "1",
+                     "--sampler", "tilt", "--tilt", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tilt:4" in out
+        assert "ess" in out
+
+    def test_tilt_requires_tilt_sampler(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "codes": [["repetition", [3, 1]]], "shots": 512}))
+        with pytest.raises(SystemExit):
+            main(["campaign", str(spec), "--tilt", "4"])
+        with pytest.raises(SystemExit):
+            main(["campaign", str(spec), "--sampler", "split",
+                  "--tilt", "4"])
+
+    def test_split_on_tableau_fails_cleanly(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "codes": [["repetition", [3, 1]]], "backend": "tableau",
+            "shots": 512}))
+        with pytest.raises(SystemExit) as exc:
+            main(["campaign", str(spec), "--workers", "1",
+                  "--sampler", "split"])
+        assert "frame backend" in str(exc.value)
+
+    def test_invalid_tilt_fails_cleanly(self, tmp_path, capsys):
+        """0 < tilt < 1 exits with a CLI error, not a raw traceback."""
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "codes": [["repetition", [3, 1]]], "shots": 512}))
+        with pytest.raises(SystemExit) as exc:
+            main(["campaign", str(spec), "--sampler", "tilt",
+                  "--tilt", "0.5"])
+        assert "error:" in str(exc.value)
+        with pytest.raises(SystemExit) as exc:
+            main(["rare", "--tilt", "0.5", "--pilot-only"])
+        assert "error:" in str(exc.value)
+
+
 class TestStoreCommand:
     SPEC = TestCampaignCommand.SPEC
 

@@ -1,0 +1,521 @@
+"""Tests for the rare-event importance-sampling subsystem (repro.rare).
+
+The statistical backbone: tilted and splitting estimators must agree
+with plain Monte Carlo at an operating point all three can resolve;
+weights must be conserved in expectation; weight degeneracy (ESS) must
+respond monotonically to the tilt; and weighted records must keep every
+one of the engine's determinism contracts — chunk-size invariance,
+store resume, and workers=1|2|4 bit-identity.
+"""
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.injection import Campaign, CodeSpec, InjectionTask
+from repro.injection.adaptive import AdaptivePolicy
+from repro.injection.campaign import (_task_context, iter_task_chunks,
+                                      run_task)
+from repro.injection.results import (SIM_BLOCK, ChunkResult,
+                                     wilson_interval)
+from repro.injection.store import CampaignStore, task_key
+from repro.injection.sweep import build_sweep
+from repro.rare.sampler import SamplerSpec, as_sampler
+from repro.rare.stats import (WeightStats, mc_required_shots,
+                              variance_reduction_factor, wilson_from_rate)
+
+
+def moderate_task(sampler=SamplerSpec(), shots=4096, seed=7, **kw):
+    """d=3 rotated code at an LER (~0.007) every sampler resolves."""
+    defaults = dict(code=CodeSpec("xxzz", (3, 3)), intrinsic_p=0.004,
+                    rounds=2, readout="data", shots=shots, seed=seed,
+                    sampler=sampler)
+    defaults.update(kw)
+    return InjectionTask(**defaults)
+
+
+# ----------------------------------------------------------------------
+# SamplerSpec / parsing
+# ----------------------------------------------------------------------
+class TestSamplerSpec:
+    def test_defaults_are_plain_mc(self):
+        spec = SamplerSpec()
+        assert spec.kind == "mc" and not spec.weighted
+        assert spec.label == "mc"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplerSpec(kind="magic")
+        with pytest.raises(ValueError):
+            SamplerSpec(kind="tilt", tilt=0.5)
+        with pytest.raises(ValueError):
+            SamplerSpec(kind="split", levels=0)
+        with pytest.raises(ValueError):
+            SamplerSpec(kind="split", base=1.0)
+        with pytest.raises(ValueError):
+            SamplerSpec(target_rel=0.0)
+
+    def test_auto_tilt(self):
+        assert SamplerSpec(kind="tilt").auto_tilt
+        assert not SamplerSpec(kind="tilt", tilt=8.0).auto_tilt
+        assert SamplerSpec(kind="tilt").label == "tilt:auto"
+
+    def test_as_sampler_parsing(self):
+        assert as_sampler(None) == SamplerSpec()
+        assert as_sampler("mc") == SamplerSpec()
+        assert as_sampler("tilt:8") == SamplerSpec(kind="tilt", tilt=8.0)
+        assert as_sampler("split:3") == SamplerSpec(kind="split", levels=3)
+        assert as_sampler({"kind": "tilt", "tilt": 4}) == \
+            SamplerSpec(kind="tilt", tilt=4)
+        with pytest.raises(ValueError):
+            as_sampler("mc:3")
+        with pytest.raises(ValueError):
+            as_sampler(42)
+
+    def test_sampler_shapes_task_key(self):
+        base = moderate_task()
+        tilted = dataclasses.replace(
+            base, sampler=SamplerSpec(kind="tilt", tilt=4.0))
+        assert task_key(base) != task_key(tilted)
+
+
+# ----------------------------------------------------------------------
+# Weighted statistics
+# ----------------------------------------------------------------------
+class TestWeightStats:
+    def test_unit_weights_match_counts(self):
+        st = WeightStats.from_counts(1000, 17)
+        assert st.ess == 1000
+        assert st.estimate("sn") == st.estimate("ht") == 17 / 1000
+
+    def test_weighted_wilson_reduces_to_wilson(self):
+        """At unit weights the weighted interval equals the classic
+        Wilson interval (same float core)."""
+        st = WeightStats.from_counts(2048, 31)
+        lo, hi = st.wilson_interval()
+        clo, chi = wilson_interval(31, 2048)
+        assert lo == pytest.approx(clo, rel=1e-12)
+        assert hi == pytest.approx(chi, rel=1e-12)
+
+    def test_wilson_from_rate_is_the_wilson_core(self):
+        assert wilson_interval(7, 1536) == wilson_from_rate(7 / 1536, 1536)
+
+    def test_addition(self):
+        a = WeightStats.from_weights([1.0, 2.0], [True, False])
+        b = WeightStats.from_weights([0.5], [True])
+        c = a + b
+        assert c.shots == 3
+        assert c.wsum == 3.5 and c.esum == 1.5
+        assert c.esq == 1.0 + 0.25
+
+    def test_ess_bounds(self):
+        st = WeightStats.from_weights([1.0, 1.0, 1.0, 5.0],
+                                      [False] * 4)
+        assert 1.0 <= st.ess <= 4.0
+
+    def test_estimator_modes(self):
+        st = WeightStats.from_weights([2.0, 0.5, 0.5, 1.0],
+                                      [True, False, False, False])
+        assert st.estimate("ht") == 2.0 / 4
+        assert st.estimate("sn") == 2.0 / 4.0
+        with pytest.raises(ValueError):
+            st.estimate("mean")
+
+    def test_variance_reduction_factor(self):
+        # A tilted run whose error shots carry weight 0.1: ten times
+        # less variance per error than Bernoulli at the same rate.
+        w = np.full(1000, 1.0)
+        e = np.zeros(1000, dtype=bool)
+        e[:50] = True
+        w[:50] = 0.1
+        st = WeightStats.from_weights(w, e)
+        assert variance_reduction_factor(st, 0.2) > 1.0
+        assert mc_required_shots(0.0, 0.2) == float("inf")
+
+
+# ----------------------------------------------------------------------
+# Statistical cross-validation (the subsystem's core claim)
+# ----------------------------------------------------------------------
+def _se(stats: WeightStats) -> float:
+    return math.sqrt(stats.variance("sn"))
+
+
+def _consistent(a: WeightStats, b: WeightStats, z: float = 3.5) -> bool:
+    """Two estimates agree within a combined z-sigma band."""
+    gap = abs(a.estimate("sn") - b.estimate("sn"))
+    return gap <= z * math.hypot(_se(a), _se(b)) + 1e-12
+
+
+class TestCrossValidation:
+    SHOTS = 16384
+
+    def _stats(self, sampler, backend="auto", shots=None):
+        task = moderate_task(sampler=sampler, backend=backend,
+                             shots=shots or self.SHOTS)
+        return run_task(task).weight_stats
+
+    def test_tilt_matches_mc_frames(self):
+        mc = self._stats(SamplerSpec())
+        tilt = self._stats(SamplerSpec(kind="tilt", tilt=4.0))
+        assert tilt.shots == self.SHOTS
+        assert _consistent(mc, tilt)
+
+    def test_split_matches_mc_frames(self):
+        mc = self._stats(SamplerSpec())
+        split = self._stats(SamplerSpec(kind="split", levels=1),
+                            backend="frames")
+        assert _consistent(mc, split)
+
+    @pytest.mark.slow
+    def test_tilt_matches_mc_tableau(self):
+        mc = self._stats(SamplerSpec(), backend="tableau", shots=4096)
+        tilt = self._stats(SamplerSpec(kind="tilt", tilt=4.0),
+                           backend="tableau", shots=4096)
+        assert _consistent(mc, tilt)
+
+    def test_weighted_rate_reported(self):
+        r = run_task(moderate_task(SamplerSpec(kind="tilt", tilt=4.0),
+                                   shots=2048))
+        assert r.weighted
+        assert r.logical_error_rate == r.weight_stats.estimate("sn")
+        row = r.to_row()
+        assert row["sampler"] == "tilt:4"
+        assert "ess" in row and "ler_ht" in row
+
+
+# ----------------------------------------------------------------------
+# Weight conservation + ESS monotonicity (property tests)
+# ----------------------------------------------------------------------
+class TestWeightProperties:
+    def test_tilt_weight_conservation(self):
+        """E[w] = 1 per shot: the mean weight must sit within a few
+        standard errors of 1."""
+        st = run_task(moderate_task(SamplerSpec(kind="tilt", tilt=2.0),
+                                    shots=8192)).weight_stats
+        n = st.shots
+        var_w = max(st.wsq / n - (st.wsum / n) ** 2, 0.0)
+        se = math.sqrt(var_w / n)
+        assert abs(st.weight_mean - 1.0) <= 5.0 * se + 1e-9
+
+    def test_split_weight_conservation(self):
+        """Systematic resampling conserves total weight in expectation
+        (lanes are correlated, so the bound is loose but tight enough
+        to catch a wrong discount)."""
+        st = run_task(moderate_task(SamplerSpec(kind="split", levels=1),
+                                    backend="frames",
+                                    shots=8192)).weight_stats
+        assert abs(st.weight_mean - 1.0) < 0.1
+
+    def test_ess_monotone_in_tilt(self):
+        """More tilt, more weight spread, less effective sample."""
+        esses = []
+        for tilt in (1.5, 3.0, 6.0, 12.0):
+            st = run_task(moderate_task(
+                SamplerSpec(kind="tilt", tilt=tilt),
+                shots=4096)).weight_stats
+            assert 1.0 <= st.ess <= st.shots + 1e-9
+            esses.append(st.ess)
+        assert all(a > b for a, b in zip(esses, esses[1:])), esses
+
+    def test_clamp_never_undersamples(self):
+        """A site whose nominal p already exceeds the cap samples at p
+        (plain MC, zero LLR) — never below it (regression: the old
+        clamp order could push q under p and silently *under*-sample
+        the tail)."""
+        from repro.frames import FrameSimulator
+        from repro.rare.tilt import tilted_probability
+
+        spec = SamplerSpec(kind="tilt", tilt=8.0, p_cap=0.001)
+        assert tilted_probability(0.002, spec) == 0.002
+        assert tilted_probability(0.0001, spec) == 0.0008
+        sim = FrameSimulator(1, 64, rng=0, tilt=8.0, tilt_p_cap=0.001)
+        assert sim._tilted_p(0.002) == 0.002
+        sim.depolarize(0, 0.002)     # q == p: zero LLR everywhere
+        assert np.all(sim.log_weights == 0.0)
+
+    def test_tilted_single_shot_rejected(self):
+        from repro.noise import NoiseModel, DepolarizingNoise
+        from repro.noise.executor import run_single_noisy
+        from repro.circuits import Circuit
+        from repro.rare.tilt import tilted_noise_model
+
+        model, _ = tilted_noise_model(
+            NoiseModel([DepolarizingNoise(0.01)]),
+            SamplerSpec(kind="tilt", tilt=4.0))
+        circuit = Circuit(1)
+        circuit.h(0)
+        with pytest.raises(NotImplementedError, match="batch-only"):
+            run_single_noisy(circuit, model, rng=1)
+
+    def test_untilted_frames_have_unit_weights(self):
+        from repro.frames import FrameSimulator
+
+        sim = FrameSimulator(4, 130, rng=3)
+        assert sim.log_weights is None
+        assert np.all(sim.shot_weights() == 1.0)
+
+    def test_tilted_site_llr_is_exact(self):
+        """One depolarize site: fired shots carry log(p/q), the rest
+        log((1-p)/(1-q))."""
+        from repro.frames import FrameSimulator
+        from repro.frames.packing import unpack_words
+
+        p, tilt = 0.01, 5.0
+        sim = FrameSimulator(1, 256, rng=11, tilt=tilt)
+        sim.z[:] = 0   # clear the random initial Z frame: after the
+        # site fires, x|z holds exactly the error mask
+        sim.depolarize(0, p)
+        q = tilt * p
+        fired = (unpack_words(sim.x[0], 256)
+                 | unpack_words(sim.z[0], 256)).astype(bool)
+        expect = np.where(fired, math.log(p / q),
+                          math.log((1 - p) / (1 - q)))
+        assert np.allclose(sim.log_weights, expect)
+
+
+# ----------------------------------------------------------------------
+# Splitting internals
+# ----------------------------------------------------------------------
+class TestSplitting:
+    def test_systematic_parents_expected_counts(self):
+        from repro.rare.split import systematic_parents
+
+        g = np.array([1.0, 1.0, 6.0, 0.0001])
+        counts = np.zeros(4)
+        for u0 in np.linspace(0.0, 0.999, 200):
+            parents = systematic_parents(g, u0)
+            counts += np.bincount(parents, minlength=4)
+        counts /= 200
+        expect = 4 * g / g.sum()
+        assert np.allclose(counts, expect, atol=0.15)
+
+    def test_uniform_scores_resample_to_identity(self):
+        from repro.rare.split import systematic_parents
+
+        g = np.ones(64)
+        assert np.array_equal(systematic_parents(g, 0.5), np.arange(64))
+
+    def test_split_points_land_on_round_boundaries(self):
+        task = moderate_task(SamplerSpec(kind="split", levels=3),
+                             backend="frames", rounds=4)
+        from repro.rare.split import split_points
+
+        experiment, _, _, program, _, _ = _task_context(task)
+        points = split_points(program, experiment, 3)
+        assert 1 <= len(points) <= 3
+        rounds_done = [r for _, r in points]
+        assert rounds_done == sorted(set(rounds_done))
+        assert all(1 <= r < 4 for r in rounds_done)
+
+    def test_split_requires_frame_backend(self):
+        task = moderate_task(SamplerSpec(kind="split"), backend="tableau")
+        with pytest.raises(ValueError, match="frame backend"):
+            run_task(task)
+
+    def test_split_never_early_stops(self):
+        """Correlated clone lanes make split CIs optimistic, so the
+        adaptive policy must run split points to their full budget."""
+        policy = AdaptivePolicy(rel_halfwidth=0.5, min_shots=512,
+                                min_errors=1)
+        task = moderate_task(SamplerSpec(kind="split", levels=1),
+                             backend="frames", shots=4096,
+                             intrinsic_p=0.02)
+        r = run_task(task, adaptive=policy)
+        assert r.shots == 4096
+        # ...while an equally loose tilt run does stop early
+        tilt = moderate_task(SamplerSpec(kind="tilt", tilt=2.0),
+                             shots=4096, intrinsic_p=0.02)
+        assert run_task(tilt, adaptive=policy).shots < 4096
+
+
+# ----------------------------------------------------------------------
+# Determinism contracts for weighted records
+# ----------------------------------------------------------------------
+class TestWeightedDeterminism:
+    def _campaign(self):
+        return Campaign([
+            moderate_task(SamplerSpec(kind="tilt", tilt=4.0),
+                          shots=3072, seed=0),
+            moderate_task(SamplerSpec(kind="split", levels=1),
+                          backend="frames", shots=2048, seed=0),
+        ], root_seed=99)
+
+    def test_workers_bit_identical_weighted(self):
+        """workers=1|2|4 must agree on counts AND weight moments."""
+        serial = self._campaign().run(max_workers=1).payloads()
+        assert self._campaign().run(workers=2).payloads() == serial
+        assert self._campaign().run(workers=4).payloads() == serial
+
+    def test_chunk_size_invariance(self):
+        t = moderate_task(SamplerSpec(kind="tilt", tilt=4.0), shots=3072)
+        assert run_task(t, chunk_shots=SIM_BLOCK).payload == \
+            run_task(t, chunk_shots=4 * SIM_BLOCK).payload
+
+    def test_store_resume_weighted(self, tmp_path):
+        t = moderate_task(SamplerSpec(kind="tilt", tilt=4.0), shots=2048)
+        full = run_task(t).payload
+        store = CampaignStore(tmp_path / "w.jsonl")
+        key = task_key(t)
+        for chunk in list(iter_task_chunks(t, chunk_shots=SIM_BLOCK))[:2]:
+            store.append_chunk(key, chunk)
+        store.close()
+        reloaded = CampaignStore(tmp_path / "w.jsonl")
+        prior = reloaded.partial(key)
+        assert prior[0] == 2 * SIM_BLOCK and prior[6] is not None
+        assert run_task(t, prior=prior).payload == full
+
+    def test_adaptive_weighted_stop_worker_invariant(self):
+        def camp():
+            return Campaign([moderate_task(
+                SamplerSpec(kind="tilt", tilt=4.0), shots=16384,
+                intrinsic_p=0.01, seed=0)], root_seed=3)
+
+        policy = AdaptivePolicy(rel_halfwidth=0.25)
+        serial = camp().run(max_workers=1, adaptive=policy).payloads()
+        par = camp().run(workers=4, adaptive=policy).payloads()
+        assert serial == par
+        assert serial[0][0] < 16384  # the policy actually stopped early
+
+    def test_chunk_row_roundtrip_with_weights(self):
+        chunk = ChunkResult(start=512, shots=1024, errors=3,
+                            raw_errors=4, corrections_applied=5,
+                            elapsed_s=0.25,
+                            block_weights=((512.0, 510.0, 1.5, 0.75),
+                                           (511.0, 509.0, 0.5, 0.25)))
+        row = json.loads(json.dumps(chunk.to_row()))
+        back = ChunkResult.from_row(row)
+        assert back == chunk
+        assert back.weight_stats.wsum == 1023.0
+
+    def test_mc_chunk_rows_stay_legacy_shaped(self):
+        chunk = ChunkResult(start=0, shots=512, errors=1, raw_errors=1,
+                            corrections_applied=1)
+        assert "weights" not in chunk.to_row()
+        assert chunk.weight_stats.wsum == 512.0
+
+    def test_done_record_roundtrips_weights(self, tmp_path):
+        t = moderate_task(SamplerSpec(kind="tilt", tilt=4.0), shots=1024)
+        result = run_task(t)
+        store = CampaignStore(tmp_path / "d.jsonl")
+        store.mark_done(task_key(t), result)
+        store.close()
+        back = CampaignStore(tmp_path / "d.jsonl").result_for(t)
+        assert back.weights == result.weights
+        assert back.logical_error_rate == result.logical_error_rate
+
+
+# ----------------------------------------------------------------------
+# Auto-tilt pilot
+# ----------------------------------------------------------------------
+class TestPilot:
+    def test_resolution_is_deterministic(self):
+        from repro.rare.pilot import resolve_tilt
+
+        task = moderate_task(
+            SamplerSpec(kind="tilt", tilt=0.0, pilot_shots=512),
+            intrinsic_p=0.002, shots=1024, seed=13)
+        experiment, decoder, noise, program, _, _ = _task_context(
+            dataclasses.replace(task, sampler=SamplerSpec(
+                kind="tilt", tilt=2.0)))
+        a = resolve_tilt(task, experiment, decoder, noise, program)
+        b = resolve_tilt(task, experiment, decoder, noise, program)
+        assert a == b and a.tilt >= 1.0 and not a.auto_tilt
+
+    def test_choose_tilt_prefers_qualified_minimum(self):
+        from repro.rare.pilot import PilotRung, choose_tilt
+
+        def rung(tilt, errors, var_scale):
+            w = np.full(1024, 1.0)
+            e = np.zeros(1024, dtype=bool)
+            e[:errors] = True
+            w[:errors] = var_scale
+            return PilotRung(tilt=tilt, shots=1024, errors=errors,
+                             stats=WeightStats.from_weights(w, e))
+
+        rungs = [rung(1.0, 0, 1.0), rung(4.0, 8, 0.5),
+                 rung(8.0, 20, 0.05)]
+        assert choose_tilt(rungs, 0.2) == 8.0
+        # nothing qualified -> deepest rung
+        assert choose_tilt([rung(2.0, 0, 1.0), rung(4.0, 1, 1.0)],
+                           0.2) == 4.0
+
+    def test_auto_tilt_runs_end_to_end(self):
+        task = moderate_task(
+            SamplerSpec(kind="tilt", tilt=0.0, pilot_shots=512),
+            intrinsic_p=0.002, shots=1024, seed=13)
+        r = run_task(task)
+        assert r.weighted and r.shots == 1024
+
+    def test_campaign_pins_auto_tilt_in_parent(self):
+        """_seeded resolves auto-tilt before dispatch: every task the
+        scheduler (and the store key) sees carries a concrete tilt."""
+        task = moderate_task(
+            SamplerSpec(kind="tilt", tilt=0.0, pilot_shots=512),
+            intrinsic_p=0.002, shots=1024, seed=13)
+        campaign = Campaign([task])
+        seeded = campaign._seeded()
+        assert not seeded[0].sampler.auto_tilt
+        assert seeded[0].sampler.tilt >= 1.0
+        # and the pinned tilt matches what lazy resolution would pick
+        from repro.injection.campaign import _resolved_sampler
+
+        assert seeded[0].sampler == _resolved_sampler(task)
+
+
+# ----------------------------------------------------------------------
+# Sweep-spec integration + did-you-mean (satellite)
+# ----------------------------------------------------------------------
+class TestSweepIntegration:
+    BASE = {"codes": [["xxzz", [3, 3]]], "p_values": [0.004],
+            "shots": 1024}
+
+    def test_sampler_key_threads_through(self):
+        spec = dict(self.BASE, sampler="tilt:4")
+        campaign = build_sweep(spec)
+        assert campaign.tasks[0].sampler == \
+            SamplerSpec(kind="tilt", tilt=4.0)
+        spec = dict(self.BASE, sampler={"kind": "split", "levels": 3})
+        assert build_sweep(spec).tasks[0].sampler.levels == 3
+
+    def test_unknown_key_suggests_fix(self):
+        with pytest.raises(ValueError, match=r"did you mean 'sampler'\?"):
+            build_sweep(dict(self.BASE, sampelr="tilt"))
+        with pytest.raises(ValueError, match=r"did you mean 'workers'\?"):
+            build_sweep(dict(self.BASE, worker=4))
+
+    def test_unknown_key_without_match_lists_keys(self):
+        with pytest.raises(ValueError, match="recognised"):
+            build_sweep(dict(self.BASE, zzzqqq=1))
+
+
+# ----------------------------------------------------------------------
+# Adaptive lease sizing (satellite)
+# ----------------------------------------------------------------------
+class TestLeaseSizing:
+    def test_default_before_observation(self):
+        from repro.parallel import lease_run_size
+        from repro.parallel.scheduler import MAX_LEASE_RUN
+
+        assert lease_run_size(100, 4, 512, None) == \
+            min(MAX_LEASE_RUN, 25)
+        assert lease_run_size(2, 4, 512, None) == 1
+
+    def test_slow_tasks_shrink_to_single_leases(self):
+        from repro.parallel import lease_run_size
+
+        # 10 ms/shot * 512-shot lease = 5.12 s >> 1 s target
+        assert lease_run_size(1000, 2, 512, 0.01) == 1
+
+    def test_fast_tasks_batch_up_to_cap(self):
+        from repro.parallel import lease_run_size
+        from repro.parallel.scheduler import LEASE_RUN_CAP
+
+        assert lease_run_size(10_000, 2, 512, 1e-7) == LEASE_RUN_CAP
+
+    def test_fair_share_still_binds(self):
+        from repro.parallel import lease_run_size
+
+        assert lease_run_size(8, 4, 512, 1e-7) == 2
