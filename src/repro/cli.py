@@ -204,6 +204,20 @@ def cmd_detect(args) -> None:
            f"(intensity {args.intensity:g}, paired seeds)")
 
 
+def _decoder_override(args):
+    """The ``--decoder`` override spec, or ``None`` (keep each task's
+    own decoder)."""
+    kind = getattr(args, "decoder", None)
+    if kind is None:
+        return None
+    from .decoders import as_decoder
+
+    try:
+        return as_decoder(kind)
+    except (KeyError, ValueError) as exc:
+        sys.exit(f"error: {exc}")
+
+
 def _sampler_override(args):
     """The ``--sampler``/``--tilt`` override, or ``None`` (keep each
     task's own sampler)."""
@@ -237,12 +251,14 @@ def cmd_campaign(args) -> None:
     campaign = build_sweep(spec)
     policy = _policy(args)
     sampler = _sampler_override(args)
+    decoder = _decoder_override(args)
     store = CampaignStore(args.store) if args.store else None
     workers = args.workers
     if workers is None:
         workers = campaign.workers or os.cpu_count() or 1
     banked = campaign.banked(store, adaptive=policy, backend=args.backend,
-                             recovery=args.recovery, sampler=sampler)
+                             recovery=args.recovery, sampler=sampler,
+                             decoder=decoder)
     print(f"campaign: {len(campaign)} points, {workers} worker(s)"
           + (f" ({banked} already complete in {args.store})" if store
              else ""))
@@ -252,7 +268,8 @@ def cmd_campaign(args) -> None:
                                adaptive=policy, resume=store,
                                backend=args.backend,
                                recovery=args.recovery,
-                               sampler=sampler)
+                               sampler=sampler,
+                               decoder=decoder)
     except ValueError as exc:
         if "frame backend" not in str(exc):
             raise
@@ -502,6 +519,16 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--tilt", type=float, default=None,
                       help="tilt factor for --sampler tilt (default: "
                            "auto via a pilot run)")
+    camp.add_argument("--decoder", type=str, default=None,
+                      metavar="KIND[:MODS]",
+                      help="decoder for every point: 'mwpm' or "
+                           "'union-find', with optional comma-joined "
+                           "mods after a colon — 'hooks' adds "
+                           "correlated hook edges to the detector "
+                           "graph, 'uniform' ignores edge weights, "
+                           "'nocache' disables the syndrome-dedup "
+                           "decode cache (e.g. 'union-find:hooks'; "
+                           "default: the task's own setting)")
     rare = subs.add_parser(
         "rare", help="rare-event pilot diagnostics + a tilted "
                      "deep-tail LER estimate (repro.rare)")

@@ -1,14 +1,35 @@
-"""Decoder interface and result container."""
+"""Decoder interface and result container.
+
+The canonical entry point is :meth:`Decoder.decode_batch` over a
+:class:`~repro.decoders.batch.SyndromeBatch` — one call per simulation
+block, consuming either the frame backend's packed word stream directly
+(bit-sliced column extraction, no full-record unpack) or plain uint8
+record rows.  Concrete decoders implement one method,
+:meth:`Decoder._decode_pattern`: decode a single flattened detector
+pattern to a readout-correction parity.  Everything batchy — syndrome
+extraction, detector differencing, per-batch deduplication, the
+cross-batch :class:`~repro.decoders.batch.DecodeCache`, correction
+scatter — is shared here.
+
+The pre-batch entry points ``correction_parity`` and ``decode_prepared``
+remain as thin deprecated shims (emitting :class:`DeprecationWarning`)
+and will be removed once external callers have migrated; in-repo code
+uses ``decode_batch`` / ``decode_detectors``.
+"""
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from ..codes.base import MemoryExperiment
+from ..frames.packing import column_counts, unpack_words
+from .batch import (DecodeCache, SyndromeBatch, pack_pattern_columns,
+                    prepare_packed_inputs)
 
 
 @dataclass
@@ -53,17 +74,27 @@ class Decoder(abc.ABC):
     """Abstract syndrome decoder.
 
     Concrete decoders carry a ``graph`` (:class:`~repro.decoders.
-    detector_graph.DetectorGraph`) and a ``use_final_data`` flag, and
-    implement :meth:`correction_parity` — the per-pattern decode.  The
-    batch pipeline (syndrome extraction, detector differencing, unique-
-    pattern deduplication, readout correction) is shared here, so
-    alternate decode strategies — a reweighted graph, pre-modified
-    detectors — plug in at :meth:`decode_prepared` without duplicating
-    it.
+    detector_graph.DetectorGraph`), a ``use_final_data`` flag and a
+    ``cache_decodes`` switch, and implement :meth:`_decode_pattern` —
+    the per-pattern decode.  The batch pipeline (packed or row-wise
+    syndrome extraction, detector differencing, unique-pattern
+    deduplication, the cross-batch decode cache, readout correction) is
+    shared here, so alternate decode strategies — a reweighted graph,
+    pre-modified detectors — plug in at :meth:`_decode_prepared`
+    without duplicating it.
     """
 
     graph: "object"
     use_final_data: bool
+    #: Per-instance syndrome-dedup cache switch (dataclass field on the
+    #: concrete decoders; read via ``getattr`` so bare subclasses work).
+    cache_decodes: bool = True
+    #: Whether :meth:`decode_batch` consumes packed word streams
+    #: natively.  The shared pipeline handles both forms, so any
+    #: subclass inheriting it is packed-native; third-party decoders
+    #: that override ``decode_batch`` with a rows-only implementation
+    #: advertise ``False`` and the campaign engine unpacks for them.
+    packed_native: bool = True
 
     @property
     @abc.abstractmethod
@@ -71,41 +102,164 @@ class Decoder(abc.ABC):
         """Short identifier used in reports."""
 
     @abc.abstractmethod
-    def correction_parity(self, detector_bits: np.ndarray) -> int:
+    def _decode_pattern(self, detector_bits: np.ndarray) -> int:
         """Decode one flattened detector pattern -> readout correction."""
 
-    def decode_prepared(self, experiment: MemoryExperiment,
-                        det: np.ndarray, raw: np.ndarray) -> DecodeResult:
-        """Decode already-extracted detectors ``(B, rounds, P)`` against
-        raw readout ``(B,)``.  Identical syndromes decode identically,
-        so shots are deduplicated before the per-pattern decode — a
-        large win at low fault intensity."""
-        B = det.shape[0]
-        flat = det.reshape(B, -1)
-        if flat.shape[1] == 0:
-            return DecodeResult(decoded=raw.copy(),
-                                expected=experiment.expected_logical,
-                                corrections=np.zeros(B, dtype=np.uint8))
-        uniq, inverse = np.unique(flat, axis=0, return_inverse=True)
-        pattern_corr = np.fromiter(
-            (self.correction_parity(u) for u in uniq),
-            dtype=np.uint8, count=uniq.shape[0])
-        corrections = pattern_corr[inverse]
+    # ------------------------------------------------------------------
+    # Syndrome-dedup decode cache
+    # ------------------------------------------------------------------
+    def _cache(self) -> Optional[DecodeCache]:
+        """The instance's decode cache (lazily created), or ``None``
+        when caching is disabled.  Stored outside the dataclass fields
+        so ``dataclasses.replace(self, graph=...)`` copies start fresh
+        — cached parities are only valid against their own graph."""
+        if not getattr(self, "cache_decodes", True):
+            return None
+        cache = self.__dict__.get("_decode_cache")
+        if cache is None:
+            cache = DecodeCache()
+            self.__dict__["_decode_cache"] = cache
+        return cache
+
+    @property
+    def cache_info(self) -> Optional[DecodeCache]:
+        """The live cache for diagnostics (``None`` when disabled or
+        never touched)."""
+        if not getattr(self, "cache_decodes", True):
+            return None
+        return self.__dict__.get("_decode_cache")
+
+    def _pattern_parities(self, keys: np.ndarray, num_detectors: int
+                          ) -> np.ndarray:
+        """Correction parities for packed pattern keys, shape ``(N,)``.
+
+        ``keys`` is ``(N, ceil(num_detectors / 8))`` uint8 — little-
+        endian packed detector patterns.  Patterns are deduplicated
+        within the batch, each distinct one resolved through the decode
+        cache (or :meth:`_decode_pattern` on a miss), and the parities
+        scattered back — exact, since identical patterns decode
+        identically.
+        """
+        uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+        cache = self._cache()
+        out = np.empty(uniq.shape[0], dtype=np.uint8)
+        for i in range(uniq.shape[0]):
+            key = uniq[i].tobytes()
+            parity = cache.get(num_detectors, key) if cache is not None \
+                else None
+            if parity is None:
+                bits = np.unpackbits(uniq[i], count=num_detectors,
+                                     bitorder="little")
+                parity = int(self._decode_pattern(bits)) & 1
+                if cache is not None:
+                    cache.put(num_detectors, key, parity)
+            out[i] = parity
+        return out[inverse]
+
+    # ------------------------------------------------------------------
+    # Canonical batch API
+    # ------------------------------------------------------------------
+    def decode_batch(self, experiment: MemoryExperiment, batch,
+                     record_words: Optional[np.ndarray] = None
+                     ) -> DecodeResult:
+        """Decode one batch of shots — the single canonical entry point.
+
+        ``batch`` is a :class:`~repro.decoders.batch.SyndromeBatch`, or
+        (legacy form) a ``(B, num_cbits)`` record array with an optional
+        ``record_words`` word stream alongside.  Packed batches decode
+        without ever unpacking the full record block: syndrome
+        extraction and detector differencing stay in the word domain,
+        only the shots with at least one detection event (found by a
+        bit-sliced popcount) have their pattern columns extracted.
+        """
+        batch = SyndromeBatch.coerce(batch, record_words)
+        if batch.packed:
+            return self._decode_packed(experiment, batch)
+        det, raw = prepare_decode_inputs(experiment, batch.records,
+                                         self.graph, self.use_final_data)
+        return self._decode_prepared(experiment, det, raw)
+
+    def decode_detectors(self, detector_bits: np.ndarray) -> int:
+        """Decode one flattened detector pattern -> correction parity.
+
+        The public per-pattern entry point (cross-validation, ablation
+        studies); resolves through the decode cache.
+        """
+        bits = np.ascontiguousarray(
+            np.asarray(detector_bits).reshape(-1).astype(np.uint8))
+        if bits.size == 0:
+            return 0
+        keys = np.packbits(bits[None, :], axis=1, bitorder="little")
+        return int(self._pattern_parities(keys, bits.size)[0])
+
+    # ------------------------------------------------------------------
+    # Shared pipeline internals
+    # ------------------------------------------------------------------
+    def _decode_packed(self, experiment: MemoryExperiment,
+                       batch: SyndromeBatch) -> DecodeResult:
+        det_words, raw_words = prepare_packed_inputs(
+            experiment, batch.record_words, batch.batch_size, self.graph,
+            self.use_final_data)
+        B = batch.batch_size
+        raw = unpack_words(raw_words, B)
+        rounds_eff, P, W = det_words.shape
+        D = rounds_eff * P
+        corrections = np.zeros(B, dtype=np.uint8)
+        if D:
+            planes = np.ascontiguousarray(det_words.reshape(D, W))
+            # Tail-safe per-shot event counts: shots with zero events
+            # decode to the identity, so only active shots are keyed.
+            active = np.nonzero(column_counts(planes, B))[0]
+            if active.size:
+                keys = pack_pattern_columns(planes, active)
+                corrections[active] = self._pattern_parities(keys, D)
         return DecodeResult(decoded=raw ^ corrections,
                             expected=experiment.expected_logical,
                             corrections=corrections)
 
-    def decode_batch(self, experiment: MemoryExperiment,
-                     records: np.ndarray) -> DecodeResult:
-        """Decode a ``(B, num_cbits)`` record array."""
-        det, raw = prepare_decode_inputs(experiment, records, self.graph,
-                                         self.use_final_data)
-        return self.decode_prepared(experiment, det, raw)
+    def _decode_prepared(self, experiment: MemoryExperiment,
+                         det: np.ndarray, raw: np.ndarray) -> DecodeResult:
+        """Decode already-extracted detectors ``(B, rounds, P)`` against
+        raw readout ``(B,)`` (row-domain tail of the shared pipeline —
+        also the hook for pre-modified detectors, e.g. window
+        discards)."""
+        B = det.shape[0]
+        flat = np.ascontiguousarray(
+            det.reshape(B, -1).astype(np.uint8, copy=False))
+        if flat.shape[1] == 0:
+            return DecodeResult(decoded=raw.copy(),
+                                expected=experiment.expected_logical,
+                                corrections=np.zeros(B, dtype=np.uint8))
+        keys = np.packbits(flat, axis=1, bitorder="little")
+        corrections = self._pattern_parities(keys, flat.shape[1])
+        return DecodeResult(decoded=raw ^ corrections,
+                            expected=experiment.expected_logical,
+                            corrections=corrections)
+
+    # ------------------------------------------------------------------
+    # Deprecated pre-batch entry points (shims)
+    # ------------------------------------------------------------------
+    def correction_parity(self, detector_bits: np.ndarray) -> int:
+        """Deprecated: use :meth:`decode_detectors`."""
+        warnings.warn(
+            "Decoder.correction_parity is deprecated; use "
+            "decode_detectors (cached per-pattern decode)",
+            DeprecationWarning, stacklevel=2)
+        return self.decode_detectors(detector_bits)
+
+    def decode_prepared(self, experiment: MemoryExperiment,
+                        det: np.ndarray, raw: np.ndarray) -> DecodeResult:
+        """Deprecated: build a :class:`~repro.decoders.batch.
+        SyndromeBatch` and call :meth:`decode_batch` instead."""
+        warnings.warn(
+            "Decoder.decode_prepared is deprecated; use decode_batch "
+            "over a SyndromeBatch", DeprecationWarning, stacklevel=2)
+        return self._decode_prepared(experiment, det, raw)
 
 
 def prepare_decode_inputs(experiment: MemoryExperiment, records: np.ndarray,
                           graph, use_final_data: bool):
-    """Shared front-end for syndrome decoders.
+    """Shared row-domain front-end for syndrome decoders.
 
     Returns ``(detectors, raw_logical)`` where ``detectors`` has shape
     ``(B, rounds_eff, P)``.
@@ -121,6 +275,9 @@ def prepare_decode_inputs(experiment: MemoryExperiment, records: np.ndarray,
       one extra reconstructed syndrome round, so late and readout-path
       errors stay decodable.  Requires the experiment to include data
       measurements and the decode basis to match the memory basis.
+
+    The word-domain mirror is :func:`~repro.decoders.batch.
+    prepare_packed_inputs`.
     """
     syndromes = experiment.syndromes(records, graph.basis)
     if graph.basis == experiment.basis:

@@ -45,6 +45,10 @@ class DetectorEdge:
     qubit: Optional[int]      # data qubit for space edges, None for time
     logical_flip: bool
     weight: float = 1.0
+    #: Correlated space-time (hook) mechanism: a data error striking
+    #: mid-round, after one adjacent plaquette measured but before the
+    #: other did, flips the two detectors diagonally across rounds.
+    hook: bool = False
 
 
 class DetectorGraph:
@@ -59,15 +63,24 @@ class DetectorGraph:
     basis:
         ``"Z"`` to decode Z-plaquette syndromes (bit-flip errors) — the
         relevant graph for the paper's Z-basis memory — or ``"X"``.
+    hook_edges:
+        Add correlated space-time (hook) edges: a data error landing
+        between the two adjacent plaquettes' measurements flips one
+        detector this round and the other next round, so each bulk
+        qubit also contributes the two diagonal mechanisms
+        ``(r, p1)–(r+1, p2)`` and ``(r, p2)–(r+1, p1)``.  Off by
+        default (the hook-free graph is the historical baseline and
+        the flag changes decode results).
     """
 
-    def __init__(self, code: StabilizerCode, rounds: int, basis: str = "Z"
-                 ) -> None:
+    def __init__(self, code: StabilizerCode, rounds: int, basis: str = "Z",
+                 hook_edges: bool = False) -> None:
         if basis not in ("Z", "X"):
             raise ValueError("basis must be 'Z' or 'X'")
         self.code = code
         self.rounds = int(rounds)
         self.basis = basis
+        self.hook_edges = bool(hook_edges)
         plaquettes = (code.z_plaquettes if basis == "Z"
                       else code.x_plaquettes)
         readout_support = frozenset(
@@ -104,6 +117,22 @@ class DetectorGraph:
                 self.edges.append(DetectorEdge(
                     self.node_id(r, p), self.node_id(r + 1, p),
                     qubit=None, logical_flip=False))
+        if self.hook_edges:
+            # Correlated hooks: a bulk data error striking after one
+            # adjacent plaquette measured but before the other flips
+            # the pair diagonally across the round boundary.
+            for r in range(self.rounds - 1):
+                for q, plist in membership.items():
+                    if len(plist) != 2:
+                        continue
+                    flip = q in readout_support
+                    p1, p2 = plist
+                    self.edges.append(DetectorEdge(
+                        self.node_id(r, p1), self.node_id(r + 1, p2),
+                        qubit=q, logical_flip=flip, hook=True))
+                    self.edges.append(DetectorEdge(
+                        self.node_id(r, p2), self.node_id(r + 1, p1),
+                        qubit=q, logical_flip=flip, hook=True))
 
         self._dist: Optional[np.ndarray] = None
         self._parity: Optional[np.ndarray] = None
@@ -125,6 +154,7 @@ class DetectorGraph:
         g.code = self.code
         g.rounds = self.rounds
         g.basis = self.basis
+        g.hook_edges = self.hook_edges
         g.num_plaquettes = self.num_plaquettes
         g.num_nodes = self.num_nodes
         g.undetectable = self.undetectable

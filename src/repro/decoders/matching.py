@@ -116,17 +116,19 @@ class MWPMDecoder(Decoder):
     ``use_final_data`` selects the qtcodes-style data-readout decode
     (see :func:`~repro.decoders.base.prepare_decode_inputs`); the graph
     must then carry ``rounds + 1`` rounds (handled by ``decoder_for``).
+    ``cache_decodes`` enables the cross-batch syndrome-dedup cache.
     """
 
     graph: DetectorGraph
     use_final_data: bool = True
+    cache_decodes: bool = True
 
     @property
     def name(self) -> str:
         return "mwpm"
 
     # ------------------------------------------------------------------
-    def correction_parity(self, detector_bits: np.ndarray) -> int:
+    def _decode_pattern(self, detector_bits: np.ndarray) -> int:
         """Decode one flattened detector pattern -> readout correction.
 
         Shortest-path distances respect the graph's edge weights, so a

@@ -2,14 +2,25 @@
 alternative the paper cites ([62]) but leaves out of scope.
 
 Implemented here as an extension/ablation: clusters grow from flagged
-detectors in half-edge steps, merging until every cluster holds an even
-number of defects or touches the boundary; a peeling pass then extracts
-a correction whose syndrome matches the defects.  Accuracy is slightly
-below MWPM (by design), speed is much higher on large graphs.
+detectors in synchronized steps, merging until every cluster holds an
+even number of defects or touches the boundary; a peeling pass then
+extracts a correction whose syndrome matches the defects.  Accuracy is
+slightly below MWPM (by design), speed is much higher on large graphs.
+
+Growth is **weight-aware** by default: an edge completes when the
+accumulated growth reaches its weight, and each synchronized step
+advances by the smallest frontier residual (capped at half a unit
+edge), so low-weight (likely) edges — e.g. the graded blast skirt of
+burst-adaptive reweighting — are crossed before unit edges.  On
+unit-weight graphs every step is exactly half an edge and the decoder
+is bit-identical to the legacy two-half-step growth;
+``weighted_growth=False`` pins that legacy behaviour on weighted
+graphs too (reacting only to fully erased edges).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -17,6 +28,10 @@ import numpy as np
 
 from .base import Decoder
 from .detector_graph import BOUNDARY, ERASED_WEIGHT, DetectorGraph
+
+#: Completion slack for float growth accumulation (half-steps are exact
+#: binary floats on unit graphs; weighted residual chains may not be).
+_GROWTH_EPS = 1e-9
 
 
 class _DSU:
@@ -52,18 +67,23 @@ class _DSU:
 class UnionFindDecoder(Decoder):
     """Union-find decoder bound to a detector graph.
 
-    ``use_final_data`` mirrors :class:`~repro.decoders.matching.MWPMDecoder`.
+    ``use_final_data`` mirrors :class:`~repro.decoders.matching.
+    MWPMDecoder`; ``cache_decodes`` enables the cross-batch syndrome-
+    dedup cache; ``weighted_growth`` selects weight-aware cluster
+    growth (module docstring — no effect on unit-weight graphs).
     """
 
     graph: DetectorGraph
     use_final_data: bool = True
+    cache_decodes: bool = True
+    weighted_growth: bool = True
 
     @property
     def name(self) -> str:
         return "union-find"
 
     # ------------------------------------------------------------------
-    def correction_parity(self, detector_bits: np.ndarray) -> int:
+    def _decode_pattern(self, detector_bits: np.ndarray) -> int:
         defects = set(int(i) for i in np.nonzero(detector_bits)[0])
         if not defects:
             return 0
@@ -83,17 +103,23 @@ class UnionFindDecoder(Decoder):
         dsu.boundary[bnode] = True
         for d in defects:
             dsu.parity[d] = 1
-        growth = [0] * len(edges)   # 0 .. 2 half-steps
+        # Growth target per edge: its weight under weight-aware growth,
+        # one unit otherwise — on unit graphs the two coincide and every
+        # step below is exactly 0.5, reproducing the legacy half-steps.
+        weighted = self.weighted_growth and not g.unit_weights
+        target = ([max(e.weight, ERASED_WEIGHT) for e in g.edges]
+                  if weighted else [1.0] * len(edges))
+        growth = [0.0] * len(edges)
         grown: Set[int] = set()
 
         # Erasure pre-growth (Delfosse–Zémor): edges the graph marks as
         # near-free — the burst-adaptive reweighting of an estimated
         # strike region — start fully grown, seeding clusters that span
-        # the damaged volume before weight-1 growth begins.
+        # the damaged volume before weighted growth begins.
         for ei, e in enumerate(g.edges):
             if e.weight <= ERASED_WEIGHT:
                 u, v, _ = edges[ei]
-                growth[ei] = 2
+                growth[ei] = target[ei]
                 grown.add(ei)
                 dsu.union(u, v)
 
@@ -107,24 +133,35 @@ class UnionFindDecoder(Decoder):
 
         # Growth phase.
         guard = 0
+        max_target = max(target) if target else 1.0
+        guard_limit = (4 * (n + len(edges) + 2)
+                       * max(1, int(math.ceil(max_target))))
         while True:
             roots = odd_roots()
             if not roots:
                 break
             guard += 1
-            if guard > 4 * (n + len(edges) + 2):  # pragma: no cover
+            if guard > guard_limit:  # pragma: no cover
                 raise RuntimeError("union-find growth failed to converge")
-            # Every edge incident to an odd cluster grows one half-step.
+            # Every edge incident to an odd cluster grows one step.
             to_grow = []
             for ei, (u, v, _) in enumerate(edges):
-                if growth[ei] >= 2:
+                if growth[ei] >= target[ei] - _GROWTH_EPS:
                     continue
                 if dsu.find(u) in roots or dsu.find(v) in roots:
                     to_grow.append(ei)
+            # Synchronized step: half a unit edge, shortened to the
+            # smallest frontier residual so the cheapest edge completes
+            # exactly (0.5 always, on unit graphs).
+            step = 0.5
+            if weighted and to_grow:
+                step = min(step, min(target[ei] - growth[ei]
+                                     for ei in to_grow))
+                step = max(step, _GROWTH_EPS)
             completed = []
             for ei in to_grow:
-                growth[ei] += 1
-                if growth[ei] >= 2:
+                growth[ei] += step
+                if growth[ei] >= target[ei] - _GROWTH_EPS:
                     completed.append(ei)
             # Merge defect clusters with each other before letting the
             # boundary absorb them: at equal weight, pairing two defects
@@ -145,7 +182,7 @@ class UnionFindDecoder(Decoder):
                     else:
                         # Cluster no longer needs the boundary; hold the
                         # edge half-grown in case it turns odd again.
-                        growth[ei] = 1
+                        growth[ei] = target[ei] / 2.0
 
         # Peeling phase: spanning forest of grown edges, leaves inward.
         adj: Dict[int, List[Tuple[int, int]]] = {}

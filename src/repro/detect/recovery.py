@@ -44,6 +44,7 @@ import numpy as np
 
 from ..codes.base import MemoryExperiment
 from ..decoders.base import Decoder, DecodeResult, prepare_decode_inputs
+from ..decoders.batch import SyndromeBatch
 from ..decoders.detector_graph import BOUNDARY, ERASED_WEIGHT, DetectorGraph
 from ..noise.radiation import (
     DEFAULT_GAMMA,
@@ -314,10 +315,16 @@ class BurstAdaptiveDecoder:
     last_cluster: Optional[StrikeCluster] = field(default=None, repr=False)
     last_estimate: Optional[BurstEstimate] = field(default=None, repr=False)
 
+    #: The wrapper forwards packed batches to the base decoder on the
+    #: (common) strike-free path, so it is packed-native whenever the
+    #: base is; the campaign engine reads this to skip the unpack.
+    packed_native = True
+
     def __post_init__(self) -> None:
         self.policy = RecoveryPolicy.coerce(self.policy)
         self._graph_cache: Dict[Tuple, DetectorGraph] = {}
         self._estimate_cache: Dict[Tuple, Optional[BurstEstimate]] = {}
+        self._adapted_cache: Dict[int, Decoder] = {}
         self._geometry: Optional[_ExperimentGeometry] = None
 
     @property
@@ -329,28 +336,30 @@ class BurstAdaptiveDecoder:
         return self.base.graph
 
     # ------------------------------------------------------------------
-    def decode_batch(self, experiment: MemoryExperiment,
-                     records: np.ndarray,
+    def decode_batch(self, experiment: MemoryExperiment, batch,
                      record_words: Optional[np.ndarray] = None
                      ) -> DecodeResult:
+        batch = SyndromeBatch.coerce(batch, record_words)
         graph = self.base.graph
-        if record_words is not None:
+        if batch.packed:
             packed = PackedSyndromes.from_record_words(
-                record_words, experiment, records.shape[0],
+                batch.record_words, experiment, batch.batch_size,
                 basis=graph.basis)
         else:
-            packed = PackedSyndromes.from_records(records, experiment,
+            packed = PackedSyndromes.from_records(batch.records, experiment,
                                                   basis=graph.basis)
         report = StreamingDetector(self.config).detect(packed)
         self.last_report = report
         self.last_cluster = None
         self.last_estimate = None
-        det, raw = prepare_decode_inputs(experiment, records, graph,
-                                         self.base.use_final_data)
         flagged = report.flagged
         if self.policy is RecoveryPolicy.STATIC or not flagged.any():
-            return self.base.decode_prepared(experiment, det, raw)
+            # Strike-free (or policy-off) batches take the base
+            # decoder's own pipeline — packed-native when the batch is.
+            return self.base.decode_batch(experiment, batch)
 
+        det, raw = prepare_decode_inputs(experiment, batch.records, graph,
+                                         self.base.use_final_data)
         if self.policy is RecoveryPolicy.DISCARD_WINDOW:
             window = report.active_rounds
             if window is None:
@@ -358,28 +367,40 @@ class BurstAdaptiveDecoder:
                           packed.rounds)
             det = det.copy()
             det[flagged, window[0]:window[1], :] = 0
-            return self.base.decode_prepared(experiment, det, raw)
+            return self.base._decode_prepared(experiment, det, raw)
 
         # REWEIGHT
         cluster = estimate_cluster(packed, report, experiment.code,
                                    rel_threshold=self.cluster_threshold)
         if cluster is None:
-            return self.base.decode_prepared(experiment, det, raw)
+            return self.base._decode_prepared(experiment, det, raw)
         self.last_cluster = cluster
         reweighted = self._reweighted(packed, report, cluster, experiment)
-        adapted = dataclasses.replace(self.base, graph=reweighted)
+        adapted = self._adapted(reweighted)
 
         corrections = np.zeros(det.shape[0], dtype=np.uint8)
         clean = ~flagged
         if clean.any():
-            res = self.base.decode_prepared(experiment, det[clean],
-                                            raw[clean])
+            res = self.base._decode_prepared(experiment, det[clean],
+                                             raw[clean])
             corrections[clean] = res.corrections
-        res = adapted.decode_prepared(experiment, det[flagged], raw[flagged])
+        res = adapted._decode_prepared(experiment, det[flagged],
+                                       raw[flagged])
         corrections[flagged] = res.corrections
         return DecodeResult(decoded=raw ^ corrections,
                             expected=experiment.expected_logical,
                             corrections=corrections)
+
+    def _adapted(self, reweighted: DetectorGraph) -> Decoder:
+        """The base decoder rebound to a reweighted graph, cached per
+        graph object so its syndrome-dedup cache (valid only against
+        that graph) persists across the blocks of a deterministic
+        strike."""
+        adapted = self._adapted_cache.get(id(reweighted))
+        if adapted is None:
+            adapted = dataclasses.replace(self.base, graph=reweighted)
+            self._adapted_cache[id(reweighted)] = adapted
+        return adapted
 
     # ------------------------------------------------------------------
     def _reweighted(self, packed: PackedSyndromes, report: DetectionReport,

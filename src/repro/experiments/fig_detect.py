@@ -167,7 +167,7 @@ def policy_rows(results) -> List[Dict[str, object]]:
     for r in results:
         lo, hi = wilson_interval(r.errors, r.shots)
         rows.append({"policy": dict(r.task.tags)["policy"],
-                     "decoder": r.task.decoder,
+                     "decoder": r.task.decoder.label,
                      "shots": r.shots, "errors": r.errors,
                      "ler": r.logical_error_rate,
                      "ler_lo": lo, "ler_hi": hi})

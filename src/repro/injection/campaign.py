@@ -42,7 +42,6 @@ from ..frames import (
     FrameProgram,
     FrameSimulator,
     compile_frame_program,
-    unpack_words,
 )
 from ..noise import (
     DepolarizingNoise,
@@ -51,7 +50,7 @@ from ..noise import (
     RadiationEvent,
     run_batch_noisy,
 )
-from ..decoders import decoder_for
+from ..decoders import DecoderSpec, SyndromeBatch, as_decoder, decoder_for
 from ..rare.sampler import SamplerSpec, as_sampler
 from ..rare.stats import WeightStats
 from ..transpile import transpile
@@ -70,7 +69,8 @@ DEFAULT_CHUNK_SHOTS = 2 * SIM_BLOCK
 
 @lru_cache(maxsize=256)
 def _prepared(code: CodeSpec, rounds: int, basis: str,
-              arch: Optional[ArchSpec], layout: str, decoder_kind: str,
+              arch: Optional[ArchSpec], layout: str,
+              decoder_spec: Union[DecoderSpec, str],
               readout: str = "ancilla"):
     """Worker-side cache: (experiment-on-physical-qubits, decoder, swaps).
 
@@ -85,7 +85,7 @@ def _prepared(code: CodeSpec, rounds: int, basis: str,
         routed = transpile(experiment.circuit, graph, layout=layout)
         experiment = dataclasses.replace(experiment, circuit=routed.circuit)
         swap_count = routed.swap_count
-    decoder = decoder_for(experiment, decoder_kind,
+    decoder = decoder_for(experiment, decoder_spec,
                           use_final_data=(readout == "data"))
     return experiment, decoder, swap_count
 
@@ -230,8 +230,7 @@ def _task_context(task: InjectionTask):
 
 
 def execute_block(experiment: MemoryExperiment, decoder, noise, program,
-                  sampler: SamplerSpec, tilted, size: int, rng,
-                  adaptive_decoder: bool = False):
+                  sampler: SamplerSpec, tilted, size: int, rng):
     """Run + decode one simulation block under a sampling measure.
 
     Returns ``(num_errors, raw_errors, corrections,
@@ -239,10 +238,15 @@ def execute_block(experiment: MemoryExperiment, decoder, noise, program,
     is ever drawn, shared by the serial engine, the parallel workers
     (via :func:`iter_task_chunks`) and the auto-tilt pilot — so every
     consumer samples the identical stream for identical inputs.
-    ``adaptive_decoder`` marks a burst-recovery wrapper that takes the
-    packed record words for frame-native strike detection.
+
+    On the frame backend the block stays bit-packed end to end: the
+    sampler's word stream is wrapped in a :class:`~repro.decoders.
+    batch.SyndromeBatch` and packed-native decoders (all in-repo ones,
+    including the burst-adaptive wrapper) extract syndromes, detectors
+    and the raw readout by whole-word ops — the full-record
+    ``unpack_words`` round-trip only happens for third-party decoders
+    that advertise ``packed_native = False``.
     """
-    record_words = None
     weights = None
     if program is not None:
         if sampler.kind == "split":
@@ -260,25 +264,23 @@ def execute_block(experiment: MemoryExperiment, decoder, noise, program,
             record_words = sim.run_packed(program)
             if sampler.kind == "tilt":
                 weights = sim.shot_weights()
-        records = np.ascontiguousarray(
-            unpack_words(record_words, size).T)
+        batch = SyndromeBatch.from_record_words(record_words, size)
     elif sampler.kind == "tilt":
         tilted_model, sink = tilted
         sink.reset(size)
-        records = run_batch_noisy(experiment.circuit, tilted_model, size,
-                                  rng=rng, backend="tableau")
+        batch = SyndromeBatch.from_records(run_batch_noisy(
+            experiment.circuit, tilted_model, size, rng=rng,
+            backend="tableau"))
         weights = sink.weights()
     else:
-        records = run_batch_noisy(experiment.circuit, noise, size,
-                                  rng=rng, backend="tableau")
-    if adaptive_decoder:
-        # Frame-native detection: the packed record words feed the
-        # streaming detector without an unpack (None on tableau path).
-        decoded = decoder.decode_batch(experiment, records,
-                                       record_words=record_words)
+        batch = SyndromeBatch.from_records(run_batch_noisy(
+            experiment.circuit, noise, size, rng=rng, backend="tableau"))
+    if getattr(decoder, "packed_native", False):
+        decoded = decoder.decode_batch(experiment, batch)
     else:
-        decoded = decoder.decode_batch(experiment, records)
-    readout = experiment.raw_readout(records)
+        # Unpack fallback for decoders that only take uint8 rows.
+        decoded = decoder.decode_batch(experiment, batch.records)
+    readout = batch.bit_column(experiment.readout_cbit)
     errors = decoded.num_errors
     raw = int(np.count_nonzero(readout != experiment.expected_logical))
     corr = int(np.count_nonzero(decoded.corrections))
@@ -323,8 +325,7 @@ def iter_task_chunks(task: InjectionTask,
     # however many calls schedule them.
     experiment, decoder, noise, program, sampler, tilted = \
         _task_context(task)
-    adaptive_decoder = task.recovery != "static"
-    if adaptive_decoder:
+    if task.recovery != "static":
         # Imported lazily (repro.detect sits above the decoder layer).
         from ..detect.recovery import BurstAdaptiveDecoder
 
@@ -342,7 +343,7 @@ def iter_task_chunks(task: InjectionTask,
                 block_seed(task.seed, block // SIM_BLOCK))
             b_err, b_raw, b_corr, b_stats = execute_block(
                 experiment, decoder, noise, program, sampler, tilted,
-                size, rng, adaptive_decoder=adaptive_decoder)
+                size, rng)
             errors += b_err
             raw += b_raw
             corr += b_corr
@@ -557,9 +558,11 @@ class Campaign:
 
     def _seeded(self, backend: Optional[str] = None,
                 recovery: Optional[str] = None,
-                sampler: Union[SamplerSpec, str, None] = None
+                sampler: Union[SamplerSpec, str, None] = None,
+                decoder: Union[DecoderSpec, str, None] = None
                 ) -> List[InjectionTask]:
         sampler = as_sampler(sampler) if sampler is not None else None
+        decoder = as_decoder(decoder) if decoder is not None else None
         out = []
         for i, t in enumerate(self.tasks):
             if t.seed == 0:
@@ -570,6 +573,8 @@ class Campaign:
                 t = dataclasses.replace(t, recovery=recovery)
             if sampler is not None and t.sampler != sampler:
                 t = dataclasses.replace(t, sampler=sampler)
+            if decoder is not None and t.decoder != decoder:
+                t = dataclasses.replace(t, decoder=decoder)
             if t.sampler.auto_tilt:
                 # Resolve auto-tilt in the parent, once per task:
                 # workers receive the pinned tilt instead of each
@@ -583,16 +588,18 @@ class Campaign:
                adaptive: Optional[AdaptivePolicy] = None,
                backend: Optional[str] = None,
                recovery: Optional[str] = None,
-               sampler: Union[SamplerSpec, str, None] = None) -> int:
+               sampler: Union[SamplerSpec, str, None] = None,
+               decoder: Union[DecoderSpec, str, None] = None) -> int:
         """How many of *this campaign's* points a resume would skip
         (store files are shared across campaigns, so ``len(store)``
         over-counts).  Pass the same ``backend``/``recovery``/
-        ``sampler`` overrides as the run: all participate in the task
-        key."""
+        ``sampler``/``decoder`` overrides as the run: all participate
+        in the task key."""
         store = CampaignStore.coerce(store)
         if store is None:
             return 0
-        return sum(1 for t in self._seeded(backend, recovery, sampler)
+        return sum(1 for t in self._seeded(backend, recovery, sampler,
+                                           decoder)
                    if _reusable(store.result_for(t), adaptive))
 
     def run(self, max_workers: Optional[int] = None,
@@ -602,7 +609,8 @@ class Campaign:
             backend: Optional[str] = None,
             recovery: Optional[str] = None,
             workers: Optional[int] = None,
-            sampler: Union[SamplerSpec, str, None] = None) -> ResultSet:
+            sampler: Union[SamplerSpec, str, None] = None,
+            decoder: Union[DecoderSpec, str, None] = None) -> ResultSet:
         """Run all tasks; ``max_workers=1`` forces serial execution.
 
         ``workers`` — hand the campaign to the :mod:`repro.parallel`
@@ -625,12 +633,16 @@ class Campaign:
         backend ("auto"/"frames"/"tableau"); since the backend is part
         of the task identity, stores keep per-backend results distinct.
         ``recovery`` likewise overrides every task's burst-recovery
-        policy ("static"/"reweight"/"discard_window"), and ``sampler``
-        the rare-event sampling measure ("mc"/"tilt"/"split", a
+        policy ("static"/"reweight"/"discard_window"), ``sampler`` the
+        rare-event sampling measure ("mc"/"tilt"/"split", a
         :class:`~repro.rare.sampler.SamplerSpec`, or a string like
-        "tilt:8" — see :func:`repro.rare.sampler.as_sampler`).
+        "tilt:8" — see :func:`repro.rare.sampler.as_sampler`), and
+        ``decoder`` the decoding configuration (a :class:`~repro.
+        decoders.spec.DecoderSpec` or a string like "mwpm" /
+        "union-find:hooks" — see :func:`repro.decoders.spec.
+        as_decoder`).
         """
-        seeded = self._seeded(backend, recovery, sampler)
+        seeded = self._seeded(backend, recovery, sampler, decoder)
         store = CampaignStore.coerce(resume)
         if workers is None and max_workers is None:
             # The sweep-spec default fills in only when the caller

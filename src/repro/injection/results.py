@@ -231,7 +231,7 @@ class InjectionResult:
             "arch": self.task.arch.label if self.task.arch else "-",
             "fault": self.task.fault.kind,
             "p": self.task.intrinsic_p,
-            "decoder": self.task.decoder,
+            "decoder": self.task.decoder.label,
             "shots": self.shots,
             "errors": self.errors,
             "ler": self.logical_error_rate,

@@ -21,6 +21,7 @@ from ..codes import (
     XXZZCode,
     build_memory_experiment,
 )
+from ..decoders.spec import DecoderSpec, as_decoder
 from ..frames.backend import validate_backend
 from ..rare.sampler import SamplerSpec
 
@@ -130,7 +131,11 @@ class InjectionTask:
     intrinsic_p: float = 0.01
     rounds: int = 2
     basis: str = "Z"
-    decoder: str = "mwpm"
+    #: Decoder configuration (:class:`~repro.decoders.spec.DecoderSpec`);
+    #: plain strings like ``"mwpm"`` or ``"union-find:hooks"`` coerce in
+    #: ``__post_init__``.  Hook edges and the weighting mode change the
+    #: counted errors, so the spec participates in the store key.
+    decoder: DecoderSpec = DecoderSpec()
     #: "ancilla" trusts the dedicated parity-readout qubit of Figs. 1-2
     #: (the paper's circuit; late errors stay undetectable); "data"
     #: decodes from the final transversal data measurement instead.
@@ -165,6 +170,8 @@ class InjectionTask:
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
+        if not isinstance(self.decoder, DecoderSpec):
+            object.__setattr__(self, "decoder", as_decoder(self.decoder))
         # Imported here: repro.detect consumes the decoder/code layers,
         # which the spec module must stay importable without.
         from ..detect.recovery import RECOVERY_POLICIES

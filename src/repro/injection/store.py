@@ -37,7 +37,11 @@ from .spec import InjectionTask
 #: v4: InjectionTask grew the ``sampler`` spec (rare-event importance
 #: sampling PR) — the sampling measure selects the random stream and
 #: the estimator, so it must shape the key.
-KEY_VERSION = 4
+#: v5: the ``decoder`` field became a ``DecoderSpec`` (batched-decoding
+#: PR) — hook edges and the weighting mode change a point's counted
+#: errors, so the full decoder configuration must shape the key (and
+#: the serialized form changed from a string to a dict).
+KEY_VERSION = 5
 
 
 #: Zero weight-moment accumulator ``(wsum, wsq, esum, esq)``.

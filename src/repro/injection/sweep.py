@@ -20,10 +20,11 @@ Example spec::
       "tags": {"sweep": "demo"}
     }
 
-Scalar knobs (``rounds``, ``basis``, ``decoder``, ``readout``,
-``layout``, ``backend``, ``recovery``, ``sampler`` — a kind string
-like ``"tilt:8"`` or a mapping, see :func:`repro.rare.sampler.
-as_sampler`) apply to every task.  A
+Scalar knobs (``rounds``, ``basis``, ``decoder`` — a kind string like
+``"union-find:hooks"`` or a mapping, see :func:`repro.decoders.spec.
+as_decoder` — ``readout``, ``layout``, ``backend``, ``recovery``,
+``sampler`` — a kind string like ``"tilt:8"`` or a mapping, see
+:func:`repro.rare.sampler.as_sampler`) apply to every task.  A
 ``"workers"`` key sets the campaign's default worker-process count
 (``Campaign.run`` routes >1 through the :mod:`repro.parallel`
 work-stealing scheduler; counts stay bit-identical either way).  Each
@@ -35,6 +36,7 @@ from __future__ import annotations
 import difflib
 from typing import Any, List, Mapping, Optional, Sequence
 
+from ..decoders.spec import as_decoder
 from ..rare.sampler import as_sampler
 from .campaign import Campaign
 from .spec import ArchSpec, CodeSpec, FaultSpec, InjectionTask
@@ -140,7 +142,7 @@ def build_sweep(spec: Mapping[str, Any]) -> Campaign:
         shots=int(spec.get("shots", 2000)),
         rounds=int(spec.get("rounds", 2)),
         basis=str(spec.get("basis", "Z")),
-        decoder=str(spec.get("decoder", "mwpm")),
+        decoder=as_decoder(spec.get("decoder")),
         readout=str(spec.get("readout", "ancilla")),
         layout=str(spec.get("layout", "best")),
         backend=str(spec.get("backend", "auto")),

@@ -1,0 +1,413 @@
+"""Batched packed-syndrome decoding: the unified ``decode_batch`` API.
+
+The redesign's contract, pinned here from four sides:
+
+* **Representation invariance** — decoding a :class:`SyndromeBatch`
+  built from packed word streams is bit-identical to decoding the same
+  shots as uint8 rows, including when the packed tail words carry
+  garbage don't-care bits.
+* **Cache transparency** — the syndrome-dedup cache is exact: cache
+  on/off, and fresh-vs-warm caches, never change a single decoded bit.
+* **Engine invariance** — campaign counts stay independent of chunk
+  size, worker count and store resume now that the frames hot path
+  feeds packed words straight to the decoder.
+* **API surface** — the deprecated per-pattern entry points keep
+  working but warn.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.codes import RepetitionCode, XXZZCode, build_memory_experiment
+from repro.decoders import (
+    BOUNDARY,
+    DecodeCache,
+    DecoderSpec,
+    DetectorGraph,
+    MWPMDecoder,
+    SyndromeBatch,
+    UnionFindDecoder,
+    as_decoder,
+    decoder_for,
+    pack_pattern_columns,
+    prepare_decode_inputs,
+    prepare_packed_inputs,
+)
+from repro.frames.packing import WORD_BITS, pack_bool_rows, unpack_words
+from repro.injection import (
+    Campaign,
+    CampaignStore,
+    CodeSpec,
+    FaultSpec,
+    InjectionTask,
+    run_task,
+)
+from repro.noise import DepolarizingNoise, NoiseModel, run_batch_noisy
+
+
+def _noisy_records(exp, p, shots, rng):
+    noise = NoiseModel([DepolarizingNoise(p)])
+    return run_batch_noisy(exp.circuit, noise, shots, rng=rng)
+
+
+def _pack_records(records, rng=None):
+    """Rows -> (num_cbits, W) word stream, optionally with garbage
+    don't-care bits planted past the batch size (frames streams carry
+    random fills there, so decoders must never read them)."""
+    B = records.shape[0]
+    words = pack_bool_rows(np.ascontiguousarray(records.T))
+    if rng is not None and B % WORD_BITS:
+        tail = np.uint64(rng.integers(0, 1 << 62, size=words.shape[0]))
+        words[:, -1] ^= tail << np.uint64(B % WORD_BITS)
+    return words
+
+
+class TestSyndromeBatch:
+    def test_rows_round_trip(self):
+        rng = np.random.default_rng(0)
+        rec = rng.integers(0, 2, size=(100, 9), dtype=np.uint8)
+        batch = SyndromeBatch.from_records(rec)
+        assert not batch.packed
+        assert batch.batch_size == 100
+        assert batch.num_cbits == 9
+        np.testing.assert_array_equal(batch.records, rec)
+        np.testing.assert_array_equal(batch.bit_column(3), rec[:, 3])
+
+    def test_packed_lazy_unpack_drops_tail(self):
+        rng = np.random.default_rng(1)
+        rec = rng.integers(0, 2, size=(70, 5), dtype=np.uint8)
+        words = _pack_records(rec, rng)   # garbage bits 70..127
+        batch = SyndromeBatch.from_record_words(words, 70)
+        assert batch.packed
+        assert batch.num_cbits == 5
+        np.testing.assert_array_equal(batch.records, rec)
+        np.testing.assert_array_equal(batch.bit_column(4), rec[:, 4])
+
+    def test_coerce_accepts_batch_rows_and_legacy_pair(self):
+        rng = np.random.default_rng(2)
+        rec = rng.integers(0, 2, size=(64, 4), dtype=np.uint8)
+        words = _pack_records(rec)
+        ready = SyndromeBatch.from_records(rec)
+        assert SyndromeBatch.coerce(ready) is ready
+        assert not SyndromeBatch.coerce(rec).packed
+        legacy = SyndromeBatch.coerce(rec, record_words=words)
+        assert legacy.packed           # packed stream preferred
+        np.testing.assert_array_equal(legacy.records, rec)
+
+    def test_needs_some_payload(self):
+        with pytest.raises(ValueError):
+            SyndromeBatch(8)
+
+
+class TestDecodeCache:
+    def test_hit_miss_accounting(self):
+        cache = DecodeCache()
+        assert cache.get(4, b"\x01") is None
+        cache.put(4, b"\x01", 1)
+        assert cache.get(4, b"\x01") == 1
+        assert (cache.hits, cache.misses, len(cache)) == (1, 1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_pattern_length_disambiguates(self):
+        cache = DecodeCache()
+        cache.put(4, b"\x01", 1)
+        assert cache.get(8, b"\x01") is None
+
+    def test_capacity_stops_admitting(self):
+        cache = DecodeCache(capacity=2)
+        cache.put(1, b"a", 1)
+        cache.put(1, b"b", 0)
+        cache.put(1, b"c", 1)          # full: dropped, not evicting
+        assert len(cache) == 2
+        assert cache.get(1, b"a") == 1
+        assert cache.get(1, b"c") is None
+
+    def test_replace_gets_fresh_cache(self):
+        """dataclasses.replace(decoder, ...) must not inherit parities
+        decoded against the old graph."""
+        exp = build_memory_experiment(RepetitionCode(5))
+        dec = decoder_for(exp, "mwpm")
+        dec.decode_batch(exp, _noisy_records(exp, 0.05, 256, rng=3))
+        assert len(dec.cache_info) > 0
+        clone = dataclasses.replace(dec, graph=dec.graph)
+        assert clone.cache_info is None or len(clone.cache_info) == 0
+
+
+class TestPackPatternColumns:
+    @pytest.mark.parametrize("num_det,shots", [(1, 5), (9, 64), (23, 130)])
+    def test_matches_row_packbits(self, num_det, shots):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, size=(num_det, shots), dtype=np.uint8)
+        planes = pack_bool_rows(bits)
+        idx = rng.permutation(shots)[: max(1, shots // 2)]
+        keys = pack_pattern_columns(planes, idx)
+        expect = np.packbits(bits[:, idx].T, axis=1, bitorder="little")
+        np.testing.assert_array_equal(keys, expect)
+
+
+@pytest.mark.parametrize("kind", ["mwpm", "union-find"])
+@pytest.mark.parametrize("code_factory,readout", [
+    (lambda: RepetitionCode(5), "ancilla"),
+    (lambda: RepetitionCode(5), "data"),
+    (lambda: XXZZCode(3, 3), "ancilla"),
+    (lambda: XXZZCode(3, 3), "data"),
+])
+class TestPackedRowsBitIdentity:
+    def test_packed_equals_rows(self, kind, code_factory, readout):
+        """Same shots, two carriers, one answer — even with garbage
+        don't-care tail bits in the packed stream."""
+        exp = build_memory_experiment(code_factory(), rounds=3)
+        rng = np.random.default_rng(11)
+        rec = _noisy_records(exp, 0.02, 200, rng=4)
+        words = _pack_records(rec, rng)
+        use_final = readout == "data"
+        via_rows = decoder_for(exp, kind, use_final_data=use_final) \
+            .decode_batch(exp, SyndromeBatch.from_records(rec))
+        via_words = decoder_for(exp, kind, use_final_data=use_final) \
+            .decode_batch(exp, SyndromeBatch.from_record_words(words, 200))
+        np.testing.assert_array_equal(via_rows.decoded, via_words.decoded)
+        np.testing.assert_array_equal(via_rows.corrections,
+                                      via_words.corrections)
+
+    def test_cache_off_identical(self, kind, code_factory, readout):
+        exp = build_memory_experiment(code_factory(), rounds=3)
+        rec = _noisy_records(exp, 0.02, 200, rng=4)
+        use_final = readout == "data"
+        spec = as_decoder(kind)
+        cached = decoder_for(exp, spec, use_final_data=use_final)
+        plain = decoder_for(exp, dataclasses.replace(spec, cache=False),
+                            use_final_data=use_final)
+        r_cached = cached.decode_batch(exp, rec)
+        r_plain = plain.decode_batch(exp, rec)
+        assert plain.cache_info is None
+        assert cached.cache_info.hits + cached.cache_info.misses > 0
+        np.testing.assert_array_equal(r_cached.decoded, r_plain.decoded)
+
+    def test_warm_cache_identical(self, kind, code_factory, readout):
+        """Replaying a batch through a warm cache changes nothing."""
+        exp = build_memory_experiment(code_factory(), rounds=3)
+        rec = _noisy_records(exp, 0.02, 200, rng=4)
+        dec = decoder_for(exp, kind, use_final_data=readout == "data")
+        first = dec.decode_batch(exp, rec)
+        again = dec.decode_batch(exp, rec)
+        assert dec.cache_info.hits > 0
+        np.testing.assert_array_equal(first.decoded, again.decoded)
+
+
+class TestPackedPrepare:
+    def test_word_domain_mirror(self):
+        """prepare_packed_inputs == prepare_decode_inputs, bit for bit."""
+        exp = build_memory_experiment(XXZZCode(3, 3), rounds=3)
+        graph = DetectorGraph(exp.code, rounds=exp.rounds)
+        rng = np.random.default_rng(13)
+        rec = _noisy_records(exp, 0.03, 90, rng=6)
+        words = _pack_records(rec, rng)
+        for use_final in (False, True):
+            det, raw = prepare_decode_inputs(exp, rec, graph, use_final)
+            det_w, raw_w = prepare_packed_inputs(exp, words, 90, graph,
+                                                 use_final)
+            assert det_w.shape[:2] == det.shape[1:]
+            for r in range(det_w.shape[0]):
+                np.testing.assert_array_equal(
+                    unpack_words(det_w[r], 90).T, det[:, r],
+                    err_msg=f"round {r} use_final={use_final}")
+            np.testing.assert_array_equal(unpack_words(raw_w, 90), raw)
+
+
+class TestCacheHitRate:
+    def test_low_p_batches_mostly_dedup(self):
+        """At p=5e-4 a 2048-shot batch collapses to a few dozen
+        distinct syndromes (the in-batch ``np.unique`` dedup), and a
+        second batch re-decodes almost nothing: the cache replays the
+        overlapping patterns."""
+        exp = build_memory_experiment(XXZZCode(3, 3), rounds=3)
+        dec = decoder_for(exp, "mwpm")
+        dec.decode_batch(exp, _noisy_records(exp, 5e-4, 2048, rng=9))
+        info = dec.cache_info
+        assert len(info) < 100          # ~31 distinct patterns / 2048 shots
+        assert len(info) == info.misses
+        first_misses = info.misses
+        dec.decode_batch(exp, _noisy_records(exp, 5e-4, 2048, rng=10))
+        second_gets = info.hits + info.misses - first_misses
+        assert info.hits / second_gets > 0.5, repr(info)
+
+    def test_campaign_cache_hit_rate_via_engine(self):
+        """The frames hot path actually exercises the cache."""
+        from repro.injection.campaign import _task_context, execute_block
+
+        task = InjectionTask(code=CodeSpec("xxzz", (5, 5)),
+                             intrinsic_p=5e-4, rounds=5, backend="frames",
+                             shots=512, seed=21)
+        experiment, decoder, noise, program, sampler, tilted = \
+            _task_context(task)
+        execute_block(experiment, decoder, noise, program, sampler,
+                      tilted, 512, np.random.default_rng(0))
+        info = decoder.cache_info
+        assert info.misses > 0 and info.misses < 200   # in-batch dedup
+        execute_block(experiment, decoder, noise, program, sampler,
+                      tilted, 512, np.random.default_rng(1))
+        assert info.hits > 0                           # cross-block reuse
+
+
+def _pattern_from_edges(graph, edge_indices):
+    bits = np.zeros(graph.num_nodes, dtype=np.uint8)
+    parity = 0
+    for ei in edge_indices:
+        e = graph.edges[ei]
+        for node in (e.u, e.v):
+            if node != BOUNDARY:
+                bits[node] ^= 1
+        parity ^= int(e.logical_flip)
+    return bits, parity
+
+
+class TestWeightedUnionFindWithHooks:
+    """PR3 leftovers: weighted cluster growth + correlated hook edges."""
+
+    @pytest.fixture(scope="class")
+    def hooked(self):
+        return DetectorGraph(XXZZCode(5, 5), rounds=5, hook_edges=True)
+
+    def test_hook_edges_present_and_flagged(self, hooked):
+        plain = DetectorGraph(XXZZCode(5, 5), rounds=5)
+        hooks = [e for e in hooked.edges if e.hook]
+        assert len(hooks) > 0
+        assert len(hooked.edges) == len(plain.edges) + len(hooks)
+        for e in hooks:    # diagonal space-time: distinct rounds
+            assert BOUNDARY not in (e.u, e.v)
+            assert hooked.node_round_plaquette(e.u)[0] \
+                != hooked.node_round_plaquette(e.v)[0]
+
+    def test_single_errors_with_hooks_crossval(self, hooked):
+        """Every single mechanism — hook or not — decodes to its true
+        parity under both MWPM and weighted union-find."""
+        mwpm = MWPMDecoder(hooked, use_final_data=False)
+        uf = UnionFindDecoder(hooked, use_final_data=False)
+        rng = np.random.default_rng(31)
+        hooks = [i for i, e in enumerate(hooked.edges) if e.hook]
+        sample = list(rng.choice(len(hooked.edges), size=40, replace=False))
+        sample += list(rng.choice(hooks, size=10, replace=False))
+        for ei in sample:
+            bits, truth = _pattern_from_edges(hooked, [int(ei)])
+            assert mwpm.decode_detectors(bits) == truth, ei
+            assert uf.decode_detectors(bits) == truth, ei
+
+    def test_weight2_agreement_with_hooks(self, hooked):
+        """Weighted UF keeps >= 95% agreement with MWPM on random
+        weight-2 mechanism sets over the hook-augmented graph."""
+        mwpm = MWPMDecoder(hooked, use_final_data=False)
+        uf = UnionFindDecoder(hooked, use_final_data=False)
+        rng = np.random.default_rng(32)
+        disagree = 0
+        trials = 150
+        for _ in range(trials):
+            edges = rng.choice(len(hooked.edges), size=2, replace=False)
+            bits, truth = _pattern_from_edges(hooked, edges)
+            corr_m = mwpm.decode_detectors(bits)
+            assert corr_m == truth, sorted(edges)
+            disagree += uf.decode_detectors(bits) != corr_m
+        assert disagree / trials <= 0.05, disagree
+
+    def test_weighted_growth_matches_legacy_on_unit_graphs(self):
+        """On unit-weight graphs the float growth is bit-identical to
+        the historical half-step growth."""
+        graph = DetectorGraph(XXZZCode(3, 3), rounds=3)
+        assert graph.unit_weights
+        weighted = UnionFindDecoder(graph, use_final_data=False)
+        legacy = UnionFindDecoder(graph, use_final_data=False,
+                                  weighted_growth=False)
+        rng = np.random.default_rng(33)
+        for _ in range(100):
+            bits = (rng.random(graph.num_nodes) < 0.1).astype(np.uint8)
+            assert weighted.decode_detectors(bits) \
+                == legacy.decode_detectors(bits)
+
+
+class TestEngineInvariance:
+    """Counts independent of chunking / workers / resume, both
+    backends, now that frames feed packed words to the decoder."""
+
+    def _task(self, backend, **kw):
+        kw.setdefault("decoder", "mwpm")
+        kw.setdefault("seed", 77)
+        return InjectionTask(
+            code=CodeSpec("xxzz", (3, 3)), intrinsic_p=0.003, rounds=3,
+            fault=FaultSpec(kind="radiation", root_qubit=4, time_index=0),
+            backend=backend, shots=1100, **kw)
+
+    @pytest.mark.parametrize("backend", ["frames", "tableau"])
+    def test_chunking_invariance(self, backend):
+        t = self._task(backend)
+        single = run_task(t, chunk_shots=t.shots)
+        for chunk_shots in (512, 1024):
+            assert run_task(t, chunk_shots=chunk_shots).counts \
+                == single.counts
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_worker_invariance(self, workers):
+        tasks = [self._task("frames", seed=s) for s in (1, 2)]
+        serial = Campaign(tasks).run(max_workers=1)
+        parallel = Campaign(tasks).run(workers=workers)
+        assert serial.counts() == parallel.counts()
+
+    def test_store_resume_identity(self, tmp_path):
+        t = self._task("frames")
+        full = run_task(t).counts
+        store = CampaignStore(str(tmp_path / "resume.jsonl"))
+        camp = Campaign([t])
+        first = camp.run(chunk_shots=512, resume=store,
+                         adaptive=None).counts()
+        resumed = Campaign([t]).run(resume=CampaignStore(
+            str(tmp_path / "resume.jsonl"))).counts()
+        assert first == [full]
+        assert resumed == [full]
+
+    def test_decoder_override_participates_in_key(self, tmp_path):
+        """A banked mwpm point must not satisfy a union-find run."""
+        from repro.injection.store import task_key
+
+        t = self._task("frames")
+        assert task_key(t) != task_key(
+            dataclasses.replace(t, decoder=as_decoder("union-find")))
+        assert task_key(t) != task_key(
+            dataclasses.replace(t, decoder=as_decoder("mwpm:hooks")))
+        assert task_key(t) == task_key(
+            dataclasses.replace(t, decoder=DecoderSpec()))
+
+    def test_union_find_campaign_runs_packed(self):
+        t = self._task("frames", decoder="union-find")
+        r = run_task(t)
+        assert r.shots == t.shots
+
+
+class TestDeprecatedShims:
+    def test_correction_parity_warns_and_matches(self):
+        g = DetectorGraph(RepetitionCode(5), rounds=2)
+        dec = MWPMDecoder(g, use_final_data=False)
+        bits = np.zeros(g.num_nodes, dtype=np.uint8)
+        bits[0] = 1
+        with pytest.warns(DeprecationWarning):
+            legacy = dec.correction_parity(bits)
+        assert legacy == dec.decode_detectors(bits) == 1
+
+    def test_decode_prepared_warns_and_matches(self):
+        exp = build_memory_experiment(RepetitionCode(5))
+        dec = decoder_for(exp, "mwpm")
+        rec = _noisy_records(exp, 0.02, 128, rng=17)
+        det, raw = prepare_decode_inputs(exp, rec, dec.graph,
+                                         dec.use_final_data)
+        with pytest.warns(DeprecationWarning):
+            legacy = dec.decode_prepared(exp, det, raw)
+        current = dec.decode_batch(exp, rec)
+        np.testing.assert_array_equal(legacy.decoded, current.decoded)
+
+    def test_legacy_record_words_kwarg_still_accepted(self):
+        exp = build_memory_experiment(RepetitionCode(5))
+        dec = decoder_for(exp, "mwpm")
+        rec = _noisy_records(exp, 0.02, 128, rng=18)
+        words = _pack_records(rec)
+        res = dec.decode_batch(exp, rec, record_words=words)
+        np.testing.assert_array_equal(
+            res.decoded, dec.decode_batch(exp, rec).decoded)

@@ -77,8 +77,8 @@ class TestUnionFindVsMwpm:
         bits, truth = _pattern_from_edges(graph, [ei])
         mwpm = MWPMDecoder(graph, use_final_data=False)
         uf = UnionFindDecoder(graph, use_final_data=False)
-        assert mwpm.correction_parity(bits) == truth, (label, ei)
-        assert uf.correction_parity(bits) == truth, (label, ei)
+        assert mwpm.decode_detectors(bits) == truth, (label, ei)
+        assert uf.decode_detectors(bits) == truth, (label, ei)
 
     @settings(**_SETTINGS)
     @given(label=st.sampled_from(["xxzz-5", "rep-5"]),
@@ -91,7 +91,7 @@ class TestUnionFindVsMwpm:
         edges = rng.choice(len(graph.edges), size=k, replace=False)
         bits, truth = _pattern_from_edges(graph, edges)
         mwpm = MWPMDecoder(graph, use_final_data=False)
-        assert mwpm.correction_parity(bits) == truth, (label, sorted(edges))
+        assert mwpm.decode_detectors(bits) == truth, (label, sorted(edges))
 
     @pytest.mark.parametrize("label", ["xxzz-5", "rep-5"])
     def test_uf_weight2_agreement_rate(self, label):
@@ -109,8 +109,8 @@ class TestUnionFindVsMwpm:
         for _ in range(trials):
             edges = rng.choice(len(graph.edges), size=2, replace=False)
             bits, truth = _pattern_from_edges(graph, edges)
-            corr_m = mwpm.correction_parity(bits)
-            corr_u = uf.correction_parity(bits)
+            corr_m = mwpm.decode_detectors(bits)
+            corr_u = uf.decode_detectors(bits)
             assert corr_m == truth, (label, sorted(edges))
             assert corr_u in (0, 1)
             disagreements += corr_u != corr_m
@@ -131,5 +131,5 @@ class TestUnionFindVsMwpm:
         bits, _ = _pattern_from_edges(graph, edges)
         for dec in (MWPMDecoder(graph, use_final_data=False),
                     UnionFindDecoder(graph, use_final_data=False)):
-            assert dec.correction_parity(bits) in (0, 1)
-            assert dec.correction_parity(np.zeros_like(bits)) == 0
+            assert dec.decode_detectors(bits) in (0, 1)
+            assert dec.decode_detectors(np.zeros_like(bits)) == 0

@@ -70,28 +70,28 @@ class TestMWPMDetails:
         assert 0 <= res.num_errors <= 500
         assert res.logical_error_rate == res.num_errors / 500
 
-    def test_correction_parity_single_event_boundary(self):
+    def test_decode_detectors_single_event_boundary(self):
         g = DetectorGraph(RepetitionCode(5), rounds=2)
         dec = MWPMDecoder(g, use_final_data=False)
         bits = np.zeros(g.num_nodes, dtype=np.uint8)
         bits[0] = 1  # single event at end plaquette -> matched to boundary
-        assert dec.correction_parity(bits) == 1
+        assert dec.decode_detectors(bits) == 1
 
-    def test_correction_parity_adjacent_pair(self):
+    def test_decode_detectors_adjacent_pair(self):
         g = DetectorGraph(RepetitionCode(5), rounds=2)
         dec = MWPMDecoder(g, use_final_data=False)
         bits = np.zeros(g.num_nodes, dtype=np.uint8)
         bits[0] = 1
         bits[1] = 1  # neighbouring plaquettes: one data error between them
-        assert dec.correction_parity(bits) == 1
+        assert dec.decode_detectors(bits) == 1
 
-    def test_correction_parity_time_pair(self):
+    def test_decode_detectors_time_pair(self):
         g = DetectorGraph(RepetitionCode(5), rounds=2)
         dec = MWPMDecoder(g, use_final_data=False)
         bits = np.zeros(g.num_nodes, dtype=np.uint8)
         bits[g.node_id(0, 1)] = 1
         bits[g.node_id(1, 1)] = 1  # measurement error: no logical flip
-        assert dec.correction_parity(bits) == 0
+        assert dec.decode_detectors(bits) == 0
 
     def test_many_events_fall_back_to_networkx(self):
         """Patterns larger than the DP limit still decode (blossom path)."""
@@ -102,7 +102,7 @@ class TestMWPMDetails:
         bits = np.zeros(dec.graph.num_nodes, dtype=np.uint8)
         hot = rng.choice(dec.graph.num_nodes, size=20, replace=False)
         bits[hot] = 1
-        parity = dec.correction_parity(bits)
+        parity = dec.decode_detectors(bits)
         assert parity in (0, 1)
 
 
@@ -112,7 +112,7 @@ class TestUnionFindDetails:
         dec = UnionFindDecoder(g, use_final_data=False)
         bits = np.zeros(g.num_nodes, dtype=np.uint8)
         bits[0] = 1
-        assert dec.correction_parity(bits) == 1
+        assert dec.decode_detectors(bits) == 1
 
     def test_adjacent_pair(self):
         g = DetectorGraph(RepetitionCode(5), rounds=2)
@@ -120,7 +120,7 @@ class TestUnionFindDetails:
         bits = np.zeros(g.num_nodes, dtype=np.uint8)
         bits[0] = 1
         bits[1] = 1
-        assert dec.correction_parity(bits) == 1
+        assert dec.decode_detectors(bits) == 1
 
     def test_accuracy_close_to_mwpm(self):
         exp = build_memory_experiment(RepetitionCode(7))
