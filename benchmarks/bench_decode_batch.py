@@ -24,10 +24,11 @@ records shots/s for both paths plus the decode-cache hit rate in the
 """
 
 import dataclasses
-import os
 import time
 
 import numpy as np
+
+from conftest import bench_bar, bench_report
 
 from repro.decoders import SyndromeBatch, prepare_decode_inputs
 from repro.frames.packing import unpack_words
@@ -94,25 +95,25 @@ def test_batched_decode_speedup(benchmark, capsys):
     decoder = _task_context(TASK)[1]
     info = decoder.cache_info
     speedup = loop_s / batched_s
-    benchmark.extra_info["shots"] = SHOTS
-    benchmark.extra_info["batched_shots_per_s"] = SHOTS / batched_s
-    benchmark.extra_info["per_shot_shots_per_s"] = SHOTS / loop_s
-    benchmark.extra_info["speedup"] = speedup
-    benchmark.extra_info["cache_patterns"] = len(info)
-    benchmark.extra_info["cache_hit_rate"] = info.hit_rate
-    with capsys.disabled():
-        print(f"\n[decode-batch] {SHOTS} shots d=5 p=5e-4: "
-              f"batched {batched_s:.2f}s ({SHOTS / batched_s:,.0f} sh/s), "
-              f"per-shot {loop_s:.2f}s ({SHOTS / loop_s:,.0f} sh/s), "
-              f"x{speedup:.1f}; cache {len(info)} patterns, "
-              f"{info.hit_rate:.0%} hits")
+    bench_report(
+        benchmark, capsys,
+        f"\n[decode-batch] {SHOTS} shots d=5 p=5e-4: "
+        f"batched {batched_s:.2f}s ({SHOTS / batched_s:,.0f} sh/s), "
+        f"per-shot {loop_s:.2f}s ({SHOTS / loop_s:,.0f} sh/s), "
+        f"x{speedup:.1f}; cache {len(info)} patterns, "
+        f"{info.hit_rate:.0%} hits",
+        shots=SHOTS,
+        batched_shots_per_s=SHOTS / batched_s,
+        per_shot_shots_per_s=SHOTS / loop_s,
+        speedup=speedup,
+        cache_patterns=len(info),
+        cache_hit_rate=info.hit_rate)
 
     # The cache must actually be doing the work the speedup claims:
     # far fewer decoded patterns than shots, with cross-block reuse.
     assert len(info) < SHOTS // 8
     assert info.hits > 0
 
-    lax = bool(os.environ.get("REPRO_BENCH_LAX"))
-    bar = 1.5 if lax else 3.0
+    bar = bench_bar(3.0, 1.5)
     assert speedup >= bar, \
         f"batched decode speedup {speedup:.2f}x < {bar}x"

@@ -21,6 +21,8 @@ numbers.
 import os
 import time
 
+from conftest import bench_bar, bench_report
+
 from repro.injection import Campaign, CodeSpec, FaultSpec, InjectionTask
 
 #: Shots per campaign point: 6 canonical blocks each.
@@ -69,18 +71,19 @@ def test_parallel_speedup(benchmark, capsys):
     assert four_counts == serial_counts, \
         "workers=4 counts diverge from serial"
 
-    benchmark.extra_info["shots"] = total_shots
-    benchmark.extra_info["cores"] = cores
-    benchmark.extra_info["workers1_shots_per_s"] = total_shots / serial_s
-    benchmark.extra_info["workers2_shots_per_s"] = total_shots / two_s
-    benchmark.extra_info["workers4_shots_per_s"] = total_shots / four_s
-    benchmark.extra_info["speedup_w2"] = serial_s / two_s
-    benchmark.extra_info["speedup_w4"] = serial_s / four_s
-    with capsys.disabled():
-        print(f"\n[parallel] {total_shots} shots, {cores} core(s): "
-              f"w1 {serial_s:.2f}s ({total_shots / serial_s:,.0f} sh/s), "
-              f"w2 {two_s:.2f}s (x{serial_s / two_s:.2f}), "
-              f"w4 {four_s:.2f}s (x{serial_s / four_s:.2f})")
+    bench_report(
+        benchmark, capsys,
+        f"\n[parallel] {total_shots} shots, {cores} core(s): "
+        f"w1 {serial_s:.2f}s ({total_shots / serial_s:,.0f} sh/s), "
+        f"w2 {two_s:.2f}s (x{serial_s / two_s:.2f}), "
+        f"w4 {four_s:.2f}s (x{serial_s / four_s:.2f})",
+        shots=total_shots,
+        cores=cores,
+        workers1_shots_per_s=total_shots / serial_s,
+        workers2_shots_per_s=total_shots / two_s,
+        workers4_shots_per_s=total_shots / four_s,
+        speedup_w2=serial_s / two_s,
+        speedup_w4=serial_s / four_s)
 
     # Orchestration tax (IPC, shard-less aggregation, planning) must
     # stay small even where there is no parallelism to win: parallel
@@ -92,14 +95,13 @@ def test_parallel_speedup(benchmark, capsys):
     # smoke lane sets it: hosted vCPUs are contended, and a single
     # seconds-scale round can miss the dedicated-host bar without any
     # code defect); dev machines keep the strict acceptance bar.
-    lax = bool(os.environ.get("REPRO_BENCH_LAX"))
     if cores >= 4:
-        bar = 1.5 if lax else 3.0
+        bar = bench_bar(3.0, 1.5)
         assert serial_s / four_s >= bar, \
             f"workers=4 speedup {serial_s / four_s:.2f}x < {bar}x on " \
             f"{cores} cores"
     if cores >= 2:
-        bar = 1.05 if lax else 1.2
+        bar = bench_bar(1.2, 1.05)
         assert serial_s / two_s >= bar, \
             f"workers=2 speedup {serial_s / two_s:.2f}x < {bar}x on " \
             f"{cores} cores"

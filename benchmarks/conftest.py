@@ -10,6 +10,16 @@ benchmark that ran — wall time, rounds, and shots/second for
 benchmarks that declare ``extra_info["shots"]`` — so the performance
 trajectory can be tracked across commits (CI uploads the bench-smoke
 job's file as an artifact, named ``BENCH_*.json`` when archived).
+The payload also embeds the session's ``repro.obs`` telemetry
+snapshot, so decode-cache hit rates, phase timings and shot counters
+ride the same perf-trajectory file.
+
+Shared helpers (benchmarks import them ``from conftest``):
+
+* :func:`bench_bar` — pick the strict acceptance bar or the relaxed
+  one when ``REPRO_BENCH_LAX`` is set (contended CI runners).
+* :func:`bench_report` — record ``extra_info`` keys and print one
+  summary line past pytest's capture, in one call.
 """
 
 import json
@@ -21,6 +31,23 @@ import pytest
 
 # Keep worker pools modest under the benchmark runner.
 os.environ.setdefault("REPRO_WORKERS", "8")
+
+
+def bench_bar(strict, lax):
+    """The acceptance bar for this run: ``strict`` on dev machines,
+    ``lax`` when ``REPRO_BENCH_LAX`` is set (hosted vCPUs are
+    contended; a single seconds-scale round can miss a dedicated-host
+    bar without any code defect)."""
+    return lax if os.environ.get("REPRO_BENCH_LAX") else strict
+
+
+def bench_report(benchmark, capsys, message, **extra):
+    """Record ``extra`` into the benchmark's ``extra_info`` (the
+    ``--bench-json`` row) and print ``message`` past capture."""
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+    with capsys.disabled():
+        print(message)
 
 
 def pytest_addoption(parser):
@@ -76,6 +103,12 @@ def pytest_sessionfinish(session, exitstatus):
         "machine": platform.machine(),
         "benchmarks": rows,
     }
+    try:
+        from repro import obs
+    except ImportError:
+        pass
+    else:
+        payload["telemetry"] = obs.registry().snapshot()
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, default=str)
         fh.write("\n")

@@ -50,10 +50,26 @@ def main() -> None:
                         default=os.cpu_count() or 1, metavar="N",
                         help="worker processes for the campaign "
                              "scheduler (default: all cores)")
+    parser.add_argument("--telemetry", type=str, default=None,
+                        metavar="PATH",
+                        help="append schema-versioned telemetry "
+                             "snapshots (JSONL) here; render with "
+                             "'repro report PATH'")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the live progress line")
     args = parser.parse_args()
     workers = max(1, args.workers)
     print(f"running campaigns with {workers} worker(s)", flush=True)
 
+    from repro import obs
+
+    with obs.session(telemetry=args.telemetry, quiet=args.quiet):
+        _run_all(workers)
+    if args.telemetry:
+        print(f"[telemetry written to {args.telemetry}]", flush=True)
+
+
+def _run_all(workers: int) -> None:
     t_start = time.time()
 
     data3 = fig3_temporal.run()

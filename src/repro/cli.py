@@ -377,6 +377,12 @@ def cmd_store(args) -> None:
                   f"versions; investigate before trusting the merge")
 
 
+def cmd_report(args) -> None:
+    from .obs.report import render_report
+
+    print(render_report(args.file))
+
+
 #: Figure subcommands that execute injection campaigns (and therefore
 #: accept the engine flags); fig3/fig4 are analytic.
 CAMPAIGN_FIGURES = ("fig5", "fig6", "fig7", "fig8", "headline")
@@ -393,6 +399,7 @@ COMMANDS = {
     "campaign": cmd_campaign,
     "rare": cmd_rare,
     "store": cmd_store,
+    "report": cmd_report,
 }
 
 
@@ -418,6 +425,13 @@ def _add_engine_options(sub: argparse.ArgumentParser,
                      help="adaptive ceiling (default: the task's shots)")
     sub.add_argument("--chunk-shots", type=int, default=None,
                      help="streaming chunk size (checkpoint granularity)")
+    sub.add_argument("--telemetry", type=str, default=None, metavar="PATH",
+                     help="append schema-versioned telemetry snapshots "
+                          "(JSONL) here while the run progresses; "
+                          "render afterwards with 'repro report PATH'")
+    sub.add_argument("--quiet", action="store_true",
+                     help="suppress the live progress line (telemetry "
+                          "export, if requested, still runs)")
     from .frames.backend import BACKENDS
 
     sub.add_argument("--backend", type=str, default=None,
@@ -578,12 +592,24 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("--quiet", action="store_true",
                        help="suppress the compaction summary (conflict "
                             "warnings still print)")
+    report = subs.add_parser(
+        "report", help="render a run summary from a telemetry JSONL "
+                       "file written via --telemetry")
+    report.add_argument("file", type=str,
+                        help="telemetry JSONL file to summarise")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    COMMANDS[args.command](args)
+    from . import obs
+
+    telemetry = getattr(args, "telemetry", None)
+    with obs.session(telemetry=telemetry,
+                     quiet=bool(getattr(args, "quiet", False))):
+        COMMANDS[args.command](args)
+    if telemetry:
+        print(f"[telemetry written to {telemetry}]")
     return 0
 
 

@@ -26,10 +26,18 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..codes.base import MemoryExperiment
 from ..frames.packing import column_counts, unpack_words
 from .batch import (DecodeCache, SyndromeBatch, pack_pattern_columns,
                     prepare_packed_inputs)
+
+# Hot-path metric handles (module-level so the per-batch cost is a few
+# integer adds; the registry resets these in place, keeping them valid).
+_OBS_PATTERNS = obs.counter("decode.patterns")
+_OBS_DISTINCT = obs.counter("decode.distinct_patterns")
+_OBS_HITS = obs.counter("decode.cache_hits")
+_OBS_MISSES = obs.counter("decode.cache_misses")
 
 
 @dataclass
@@ -142,18 +150,24 @@ class Decoder(abc.ABC):
         """
         uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
         cache = self._cache()
+        _OBS_PATTERNS.inc(int(keys.shape[0]))
+        _OBS_DISTINCT.inc(int(uniq.shape[0]))
         out = np.empty(uniq.shape[0], dtype=np.uint8)
+        misses = 0
         for i in range(uniq.shape[0]):
             key = uniq[i].tobytes()
             parity = cache.get(num_detectors, key) if cache is not None \
                 else None
             if parity is None:
+                misses += 1
                 bits = np.unpackbits(uniq[i], count=num_detectors,
                                      bitorder="little")
                 parity = int(self._decode_pattern(bits)) & 1
                 if cache is not None:
                     cache.put(num_detectors, key, parity)
             out[i] = parity
+        _OBS_MISSES.inc(misses)
+        _OBS_HITS.inc(int(uniq.shape[0]) - misses)
         return out[inverse]
 
     # ------------------------------------------------------------------

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from ..codes.base import MemoryExperiment
 from ..decoders.base import Decoder, DecodeResult, prepare_decode_inputs
 from ..decoders.batch import SyndromeBatch
@@ -348,7 +349,8 @@ class BurstAdaptiveDecoder:
         else:
             packed = PackedSyndromes.from_records(batch.records, experiment,
                                                   basis=graph.basis)
-        report = StreamingDetector(self.config).detect(packed)
+        with obs.span("detect"):
+            report = StreamingDetector(self.config).detect(packed)
         self.last_report = report
         self.last_cluster = None
         self.last_estimate = None

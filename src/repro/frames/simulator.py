@@ -58,6 +58,15 @@ from .program import (
     FrameProgram,
 )
 
+from .. import obs
+
+_LAYER_OPS = frozenset((OP_CX_LAYER, OP_CZ_LAYER, OP_H_LAYER,
+                        OP_S_LAYER, OP_SWAP_LAYER, OP_MEASURE_LAYER,
+                        OP_RESET_LAYER, OP_DEPOLARIZE_LAYER))
+_OBS_BLOCKS = obs.counter("frames.blocks")
+_OBS_OPS = obs.counter("frames.ops")
+_OBS_FUSED = obs.counter("frames.fused_ops")
+
 
 class FrameSimulator:
     """X/Z Pauli frames for ``batch_size`` shots, bit-packed in uint64.
@@ -319,6 +328,13 @@ class FrameSimulator:
             raise ValueError("program wider than simulator register")
         record_words = np.zeros((program.num_cbits, self.num_words),
                                 dtype=np.uint64)
+        _OBS_BLOCKS.inc()
+        fused = program.__dict__.get("_obs_fused")
+        if fused is None:
+            fused = sum(1 for op in program.ops if op[0] in _LAYER_OPS)
+            program.__dict__["_obs_fused"] = fused
+        _OBS_OPS.inc(len(program.ops))
+        _OBS_FUSED.inc(fused)
         self.exec_ops(program.ops, record_words)
         return record_words
 

@@ -36,6 +36,7 @@ from typing import (Callable, Iterable, Iterator, List, Optional, Tuple,
 
 import numpy as np
 
+from .. import obs
 from ..codes.base import MemoryExperiment
 from ..frames import (
     FrameLoweringError,
@@ -66,6 +67,16 @@ from .store import CampaignStore, task_key
 #: Rounded up to a whole number of blocks.
 DEFAULT_CHUNK_SHOTS = 2 * SIM_BLOCK
 
+#: Hot-path metric handles, cached once (obs.reset zeroes them in
+#: place, so these stay valid across resets and forks).  Incremented at
+#: block/chunk granularity only — never per shot.
+_OBS_SHOTS = obs.counter("engine.shots")
+_OBS_ERRORS = obs.counter("engine.errors")
+_OBS_BLOCKS = obs.counter("engine.blocks")
+_OBS_CHUNKS = obs.counter("engine.chunks")
+_OBS_DECISIONS = obs.counter("engine.decisions")
+_OBS_EARLY_STOPS = obs.counter("engine.early_stops")
+
 
 @lru_cache(maxsize=256)
 def _prepared(code: CodeSpec, rounds: int, basis: str,
@@ -78,15 +89,17 @@ def _prepared(code: CodeSpec, rounds: int, basis: str,
     caching them per worker process amortises the cost across the many
     tasks sharing a configuration.
     """
-    experiment = build_experiment(code, rounds, basis)
-    swap_count = 0
-    if arch is not None:
-        graph = build_arch(arch)
-        routed = transpile(experiment.circuit, graph, layout=layout)
-        experiment = dataclasses.replace(experiment, circuit=routed.circuit)
-        swap_count = routed.swap_count
-    decoder = decoder_for(experiment, decoder_spec,
-                          use_final_data=(readout == "data"))
+    with obs.span("compile"):
+        experiment = build_experiment(code, rounds, basis)
+        swap_count = 0
+        if arch is not None:
+            graph = build_arch(arch)
+            routed = transpile(experiment.circuit, graph, layout=layout)
+            experiment = dataclasses.replace(experiment,
+                                             circuit=routed.circuit)
+            swap_count = routed.swap_count
+        decoder = decoder_for(experiment, decoder_spec,
+                              use_final_data=(readout == "data"))
     return experiment, decoder, swap_count
 
 
@@ -155,8 +168,9 @@ def _frame_program(task: InjectionTask, experiment: MemoryExperiment,
     if task.backend == "tableau":
         return None
     try:
-        program = compile_frame_program(experiment.circuit, noise,
-                                        rng=frame_ref_seed(task.seed))
+        with obs.span("compile"):
+            program = compile_frame_program(
+                experiment.circuit, noise, rng=frame_ref_seed(task.seed))
     except FrameLoweringError:
         if task.backend == "frames":
             raise
@@ -248,38 +262,41 @@ def execute_block(experiment: MemoryExperiment, decoder, noise, program,
     that advertise ``packed_native = False``.
     """
     weights = None
-    if program is not None:
-        if sampler.kind == "split":
-            from ..rare.split import run_split_packed
+    with obs.span("sample"):
+        if program is not None:
+            if sampler.kind == "split":
+                from ..rare.split import run_split_packed
 
-            sim = FrameSimulator(experiment.circuit.num_qubits, size,
-                                 rng=rng)
-            record_words, weights = run_split_packed(
-                sim, program, experiment, sampler)
+                sim = FrameSimulator(experiment.circuit.num_qubits, size,
+                                     rng=rng)
+                record_words, weights = run_split_packed(
+                    sim, program, experiment, sampler)
+            else:
+                tilt = sampler.tilt if sampler.kind == "tilt" else 1.0
+                sim = FrameSimulator(experiment.circuit.num_qubits, size,
+                                     rng=rng, tilt=tilt,
+                                     tilt_p_cap=sampler.p_cap)
+                record_words = sim.run_packed(program)
+                if sampler.kind == "tilt":
+                    weights = sim.shot_weights()
+            batch = SyndromeBatch.from_record_words(record_words, size)
+        elif sampler.kind == "tilt":
+            tilted_model, sink = tilted
+            sink.reset(size)
+            batch = SyndromeBatch.from_records(run_batch_noisy(
+                experiment.circuit, tilted_model, size, rng=rng,
+                backend="tableau"))
+            weights = sink.weights()
         else:
-            tilt = sampler.tilt if sampler.kind == "tilt" else 1.0
-            sim = FrameSimulator(experiment.circuit.num_qubits, size,
-                                 rng=rng, tilt=tilt,
-                                 tilt_p_cap=sampler.p_cap)
-            record_words = sim.run_packed(program)
-            if sampler.kind == "tilt":
-                weights = sim.shot_weights()
-        batch = SyndromeBatch.from_record_words(record_words, size)
-    elif sampler.kind == "tilt":
-        tilted_model, sink = tilted
-        sink.reset(size)
-        batch = SyndromeBatch.from_records(run_batch_noisy(
-            experiment.circuit, tilted_model, size, rng=rng,
-            backend="tableau"))
-        weights = sink.weights()
-    else:
-        batch = SyndromeBatch.from_records(run_batch_noisy(
-            experiment.circuit, noise, size, rng=rng, backend="tableau"))
-    if getattr(decoder, "packed_native", False):
-        decoded = decoder.decode_batch(experiment, batch)
-    else:
-        # Unpack fallback for decoders that only take uint8 rows.
-        decoded = decoder.decode_batch(experiment, batch.records)
+            batch = SyndromeBatch.from_records(run_batch_noisy(
+                experiment.circuit, noise, size, rng=rng,
+                backend="tableau"))
+    with obs.span("decode"):
+        if getattr(decoder, "packed_native", False):
+            decoded = decoder.decode_batch(experiment, batch)
+        else:
+            # Unpack fallback for decoders that only take uint8 rows.
+            decoded = decoder.decode_batch(experiment, batch.records)
     readout = batch.bit_column(experiment.readout_cbit)
     errors = decoded.num_errors
     raw = int(np.count_nonzero(readout != experiment.expected_logical))
@@ -347,10 +364,14 @@ def iter_task_chunks(task: InjectionTask,
             errors += b_err
             raw += b_raw
             corr += b_corr
+            _OBS_SHOTS.inc(size)
+            _OBS_ERRORS.inc(b_err)
+            _OBS_BLOCKS.inc()
             if block_weights is not None:
                 block_weights.append((b_stats.wsum, b_stats.wsq,
                                       b_stats.esum, b_stats.esq))
             block += size
+        _OBS_CHUNKS.inc()
         yield ChunkResult(start=pos, shots=end - pos, errors=errors,
                           raw_errors=raw, corrections_applied=corr,
                           elapsed_s=time.perf_counter() - t0,
@@ -408,6 +429,7 @@ def run_task(task: InjectionTask,
     weighted = task.sampler.weighted
     if weighted and weights is None:
         weights = (0.0, 0.0, 0.0, 0.0)
+    mon = obs.active()
     target = adaptive.ceiling(task.shots) if adaptive else task.shots
     while shots < target:
         # Decisions fire only ON the watermark grid: a prior that
@@ -415,11 +437,12 @@ def run_task(task: InjectionTask,
         # checkpoint) resumes sampling to the next watermark first, so
         # the evaluated prefixes — and the stop shot — match an
         # uninterrupted run exactly.
-        if adaptive and shots % adaptive.decision_step == 0 and shots \
-                and adaptive.should_stop(errors, shots, task.shots,
-                                         _weight_stats(task, shots,
-                                                       weights)):
-            break
+        if adaptive and shots % adaptive.decision_step == 0 and shots:
+            _OBS_DECISIONS.inc()
+            if adaptive.should_stop(errors, shots, task.shots,
+                                    _weight_stats(task, shots, weights)):
+                _OBS_EARLY_STOPS.inc()
+                break
         segment_end = (adaptive.next_watermark(shots, task.shots)
                        if adaptive else target)
         for chunk in iter_task_chunks(task, chunk_shots=chunk_shots,
@@ -435,6 +458,15 @@ def run_task(task: InjectionTask,
                 weights = chunk.fold_weights(weights)
             if on_chunk is not None:
                 on_chunk(chunk)
+            if mon is not None:
+                ws = (_weight_stats(task, shots, weights) if weighted
+                      else None)
+                if ws is not None:
+                    obs.gauge("rare.ess").set(ws.ess)
+                    obs.gauge("rare.wsum").set(ws.wsum)
+                    obs.gauge("rare.wsq").set(ws.wsq)
+                mon.task_progress(task, shots, errors, target, ws)
+                mon.tick()
     return _assemble(task, shots, errors, raw, corr, elapsed, nchunks,
                      weights if weighted else None)
 
@@ -642,6 +674,20 @@ class Campaign:
         "union-find:hooks" — see :func:`repro.decoders.spec.
         as_decoder`).
         """
+        mon = obs.active()
+        try:
+            return self._run(mon, max_workers, chunk_shots, adaptive,
+                             resume, backend, recovery, workers, sampler,
+                             decoder)
+        finally:
+            if mon is not None:
+                # Campaign boundary, not session end: force a telemetry
+                # snapshot/redraw but leave the ambient session open
+                # (headline runs several campaigns in one session).
+                mon.campaign_end()
+
+    def _run(self, mon, max_workers, chunk_shots, adaptive, resume,
+             backend, recovery, workers, sampler, decoder) -> ResultSet:
         seeded = self._seeded(backend, recovery, sampler, decoder)
         store = CampaignStore.coerce(resume)
         if workers is None and max_workers is None:
@@ -677,6 +723,14 @@ class Campaign:
             todo.append(i)
             payloads.append((t, chunk_shots, adaptive, prior))
 
+        if mon is not None:
+            mon.begin_campaign(
+                seeded, [adaptive.ceiling(t.shots) if adaptive else t.shots
+                         for t in seeded])
+            for i, banked in enumerate(results):
+                if banked is not None:
+                    mon.task_done(seeded[i], banked.shots, banked.errors)
+
         if use_scheduler and payloads:
             from ..parallel import WorkStealingScheduler
 
@@ -700,6 +754,8 @@ class Campaign:
                     on_chunk=lambda c, k=key: store.append_chunk(k, c))
                 store.mark_done(key, result)
                 results[i] = result
+                if mon is not None:
+                    mon.task_done(t, result.shots, result.errors)
             return ResultSet(results)
 
         def checkpoint(j: int, out: Tuple[InjectionResult,
@@ -711,6 +767,9 @@ class Campaign:
                 for chunk in new_chunks:
                     store.append_chunk(keys[i], chunk)
                 store.mark_done(keys[i], result)
+            if mon is not None:
+                mon.task_done(seeded[i], result.shots, result.errors)
+                mon.tick()
 
         parallel_map(_run_point, payloads, max_workers=max_workers,
                      on_result=checkpoint)

@@ -25,6 +25,7 @@ import os
 import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from .results import SIM_BLOCK, ChunkResult, InjectionResult
 from .spec import InjectionTask
 
@@ -122,6 +123,9 @@ class CampaignStore:
                     f"store file {os.fspath(path)!r} contains undecodable "
                     f"bytes; keeping the records read so far",
                     RuntimeWarning, stacklevel=2)
+                obs.event("store.undecodable_bytes",
+                          f"undecodable bytes in {os.fspath(path)!r}",
+                          path=os.fspath(path))
 
     def _load(self) -> None:
         for rec in self._iter_records(self.path):
@@ -136,6 +140,9 @@ class CampaignStore:
                 warnings.warn(
                     f"skipping malformed {kind!r} record in {self.path!r}",
                     RuntimeWarning, stacklevel=2)
+                obs.event("store.malformed_record",
+                          f"malformed {kind!r} record in {self.path!r}",
+                          path=self.path)
 
     def done_record(self, key: str) -> Optional[Dict[str, object]]:
         return self._done.get(key)
@@ -282,6 +289,13 @@ class CampaignStore:
         ``duplicate_chunks``, ``conflicting_done``,
         ``conflicting_chunks``.
         """
+        with obs.span("merge"):
+            return cls._merge(out_path, in_paths)
+
+    @classmethod
+    def _merge(cls, out_path: Union[str, os.PathLike],
+               in_paths: Sequence[Union[str, os.PathLike]]
+               ) -> Dict[str, int]:
         out_path = os.fspath(out_path)
         paths = [os.fspath(p) for p in in_paths]
         resolved = {os.path.realpath(p) for p in paths}
@@ -303,12 +317,16 @@ class CampaignStore:
             except OSError as exc:
                 warnings.warn(f"skipping unreadable store shard {path!r}: "
                               f"{exc}", RuntimeWarning, stacklevel=2)
+                obs.event("store.skipped_shard",
+                          f"unreadable shard {path!r}: {exc}", path=path)
                 stats["skipped_inputs"] += 1
                 continue
             if not records:
                 warnings.warn(f"store shard {path!r} holds no usable "
                               f"records; skipping", RuntimeWarning,
                               stacklevel=2)
+                obs.event("store.skipped_shard",
+                          f"empty shard {path!r}", path=path)
                 stats["skipped_inputs"] += 1
                 continue
             for rec in records:
@@ -320,6 +338,9 @@ class CampaignStore:
                         warnings.warn(
                             f"dropping done record without a key in "
                             f"{path!r}", RuntimeWarning, stacklevel=2)
+                        obs.event("store.malformed_record",
+                                  f"done record without a key in {path!r}",
+                                  path=path)
                         continue
                     prev = done.get(key)
                     if prev is None:
@@ -342,6 +363,9 @@ class CampaignStore:
                         warnings.warn(
                             f"dropping malformed chunk record in {path!r}",
                             RuntimeWarning, stacklevel=2)
+                        obs.event("store.malformed_record",
+                                  f"malformed chunk record in {path!r}",
+                                  path=path)
                         continue
                     prev = chunks.get(ck)
                     if prev is None:

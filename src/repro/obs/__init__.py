@@ -1,0 +1,79 @@
+"""Campaign observability: metrics, phase spans, progress, telemetry.
+
+The layer has three pieces, all near-zero-overhead and RNG-neutral
+(instrumentation never draws from or reorders any random stream — the
+engine's bit-identity contract is property-tested with telemetry on):
+
+* :mod:`repro.obs.metrics` — the process-local
+  :class:`MetricsRegistry` of counters / gauges / histograms plus
+  nestable phase spans (``compile``, ``sample``, ``detect``,
+  ``decode``, ``merge``, ``aggregate``) and a structured event log.
+  Hot paths use the module-level conveniences (:func:`counter`,
+  :func:`span`, ...) against the global registry; :func:`reset` zeroes
+  it in place (worker processes call this at start).
+* :mod:`repro.obs.sinks` — the ambient :class:`CampaignMonitor`
+  session combining a live TTY progress line and a periodic
+  schema-versioned JSONL telemetry exporter (``--telemetry PATH``).
+  The engine reaches it through :func:`active` (one ``None`` check
+  when no session is installed).
+* :mod:`repro.obs.report` — ``repro report FILE``: render a phase /
+  cache / scheduler / sampler summary from an exported telemetry file.
+"""
+
+from .metrics import (
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Stopwatch,
+    counter,
+    event,
+    gauge,
+    merge_snapshots,
+    registry,
+    span,
+)
+from .sinks import (
+    CampaignMonitor,
+    ProgressRenderer,
+    TelemetryWriter,
+    active,
+    install,
+    session,
+)
+from .report import last_snapshot, load_telemetry, render_report
+
+
+def reset() -> None:
+    """Zero the global registry in place and drop any ambient monitor
+    (worker-process entry: metrics become worker-local, and a monitor
+    inherited across ``fork`` must never export from a child)."""
+    registry().reset()
+    install(None)
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Stopwatch",
+    "counter",
+    "gauge",
+    "span",
+    "event",
+    "registry",
+    "reset",
+    "merge_snapshots",
+    "CampaignMonitor",
+    "ProgressRenderer",
+    "TelemetryWriter",
+    "active",
+    "install",
+    "session",
+    "load_telemetry",
+    "last_snapshot",
+    "render_report",
+]

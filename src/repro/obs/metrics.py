@@ -1,0 +1,325 @@
+"""Process-local metrics registry: counters, gauges, spans, events.
+
+The registry is the engine's always-on instrumentation substrate.  Two
+properties make it safe to leave enabled in the hot path:
+
+* **Never touches randomness** — metrics read counts and clocks only;
+  no RNG stream is ever consumed or reseeded, so counts and adaptive
+  stop shots are bit-identical with instrumentation on or off (the
+  bit-identity property tests run with a monitor installed).
+* **Near-zero overhead** — incrementing a counter is one attribute add
+  on a cached object; a span is two ``perf_counter`` calls.  Hot-path
+  call sites cache their :class:`Counter` objects at module scope,
+  which works because :meth:`MetricsRegistry.reset` zeroes the
+  existing objects *in place* instead of replacing them — cached
+  references stay live across resets and across ``fork``.
+
+Values are process-local.  Parallel workers carry their own registry
+(zeroed at worker start) and ship cumulative snapshots back to the
+scheduler on the existing results queue; :func:`merge_snapshots` sums
+them into the campaign-wide view.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Telemetry snapshot schema version (the ``"schema"`` field of every
+#: exported JSONL record).  Bump when the snapshot shape changes.
+SCHEMA_VERSION = 1
+
+#: Recent events kept verbatim (per kind, total) for the snapshot's
+#: ``recent_events`` field; per-kind totals are unbounded counters.
+EVENT_BUFFER = 64
+
+
+class Counter:
+    """A monotonically increasing integer (per process)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins sampled value (``None`` until first set)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class SpanStats:
+    """Accumulated wall-clock for one named phase."""
+
+    __slots__ = ("total_s", "count")
+
+    def __init__(self) -> None:
+        self.total_s = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts are derivable).
+
+    Kept deliberately simple: ``bounds`` are the inclusive upper edges
+    of all but the last bucket, which is open-ended.  The engine uses
+    histograms sparingly (they cost a bisection per observation);
+    counters and spans carry the hot-path load.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        i = 0
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                break
+        else:
+            i = len(self.bounds)
+        self.counts[i] += 1
+        self.total += 1
+        self.sum += value
+
+    def to_row(self) -> Dict[str, object]:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "total": self.total, "sum": self.sum}
+
+
+class MetricsRegistry:
+    """One process's metric namespace.
+
+    Not thread-safe by design — the engine is single-threaded per
+    process, and a lock per counter increment would dominate the cost
+    of the increment itself.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._spans: Dict[str, SpanStats] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._stack: List[str] = []
+        self._event_counts: Dict[str, int] = {}
+        self._events: Deque[Dict[str, object]] = deque(maxlen=EVENT_BUFFER)
+        self._start = perf_counter()
+
+    # -- metric handles ------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str, bounds: Tuple[float, ...]) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(bounds)
+        return h
+
+    # -- spans ---------------------------------------------------------
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a named phase; spans nest (each level accumulates its
+        own wall-clock, inclusive of children) and unwind correctly on
+        exceptions."""
+        self._stack.append(name)
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            dt = perf_counter() - t0
+            self._stack.pop()
+            st = self._spans.get(name)
+            if st is None:
+                st = self._spans[name] = SpanStats()
+            st.total_s += dt
+            st.count += 1
+
+    def span_stack(self) -> Tuple[str, ...]:
+        """The currently open spans, outermost first."""
+        return tuple(self._stack)
+
+    def span_stats(self, name: str) -> Optional[SpanStats]:
+        return self._spans.get(name)
+
+    # -- events --------------------------------------------------------
+    def event(self, kind: str, message: str = "", **fields: object) -> None:
+        """Record one structured event (warn+skip paths, crashes, ...).
+
+        Per-kind totals always accumulate; the most recent
+        :data:`EVENT_BUFFER` events are kept verbatim for the snapshot.
+        """
+        self._event_counts[kind] = self._event_counts.get(kind, 0) + 1
+        ev: Dict[str, object] = {
+            "kind": kind,
+            "uptime_s": round(perf_counter() - self._start, 3)}
+        if message:
+            ev["message"] = message
+        if fields:
+            ev.update(fields)
+        self._events.append(ev)
+
+    @property
+    def event_counts(self) -> Dict[str, int]:
+        return dict(self._event_counts)
+
+    @property
+    def recent_events(self) -> List[Dict[str, object]]:
+        return list(self._events)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def uptime_s(self) -> float:
+        return perf_counter() - self._start
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable cumulative view of every metric."""
+        snap: Dict[str, object] = {
+            "uptime_s": round(self.uptime_s, 6),
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()
+                       if g.value is not None},
+            "spans": {k: {"total_s": round(s.total_s, 6), "count": s.count}
+                      for k, s in self._spans.items()},
+            "events": dict(self._event_counts),
+        }
+        if self._histograms:
+            snap["histograms"] = {k: h.to_row()
+                                  for k, h in self._histograms.items()}
+        return snap
+
+    def reset(self) -> None:
+        """Zero every metric **in place** — existing Counter/Gauge/
+        SpanStats objects keep their identity, so module-level cached
+        handles (and handles inherited across ``fork``) remain valid."""
+        for c in self._counters.values():
+            c.value = 0
+        for g in self._gauges.values():
+            g.value = None
+        for s in self._spans.values():
+            s.total_s = 0.0
+            s.count = 0
+        for h in self._histograms.values():
+            h.counts = [0] * (len(h.bounds) + 1)
+            h.total = 0
+            h.sum = 0.0
+        self._stack.clear()
+        self._event_counts.clear()
+        self._events.clear()
+        self._start = perf_counter()
+
+
+def merge_snapshots(base: Dict[str, object],
+                    others: Iterable[Dict[str, object]]
+                    ) -> Dict[str, object]:
+    """Sum worker snapshots into a campaign-wide view.
+
+    Counters, span totals/counts and event totals add; gauges are
+    last-write-wins with ``base`` taking precedence (worker gauges fill
+    gaps only — per-worker gauge detail belongs in the per-worker
+    section of the telemetry record, not the merged namespace).
+    """
+    counters = dict(base.get("counters", {}))
+    gauges = dict(base.get("gauges", {}))
+    spans: Dict[str, Dict[str, float]] = {
+        k: dict(v) for k, v in base.get("spans", {}).items()}
+    events = dict(base.get("events", {}))
+    for snap in others:
+        if not snap:
+            continue
+        for k, v in snap.get("counters", {}).items():
+            counters[k] = counters.get(k, 0) + v
+        for k, v in snap.get("gauges", {}).items():
+            gauges.setdefault(k, v)
+        for k, v in snap.get("spans", {}).items():
+            st = spans.setdefault(k, {"total_s": 0.0, "count": 0})
+            st["total_s"] = round(st["total_s"] + v["total_s"], 6)
+            st["count"] += v["count"]
+        for k, v in snap.get("events", {}).items():
+            events[k] = events.get(k, 0) + v
+    merged = dict(base)
+    merged["counters"] = counters
+    merged["gauges"] = gauges
+    merged["spans"] = spans
+    merged["events"] = events
+    return merged
+
+
+class Stopwatch:
+    """Accumulates named wall-clock segments (a private registry).
+
+    The historical ``repro.util.timing.Stopwatch`` API, now backed by
+    :class:`MetricsRegistry` spans; ``repro.util`` re-exports it for
+    compatibility.
+    """
+
+    def __init__(self) -> None:
+        self._reg = MetricsRegistry()
+
+    @property
+    def totals(self) -> Dict[str, float]:
+        return {k: s.total_s for k, s in self._reg._spans.items()}
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        return {k: s.count for k, s in self._reg._spans.items()}
+
+    def section(self, name: str):
+        return self._reg.span(name)
+
+    def report(self) -> str:
+        totals = self.totals
+        counts = self.counts
+        lines = []
+        for name in sorted(totals, key=totals.get, reverse=True):
+            lines.append(f"{name:30s} {totals[name]:9.3f}s "
+                         f"x{counts[name]}")
+        return "\n".join(lines)
+
+
+#: The process-global registry every engine call site instruments.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def span(name: str):
+    return _REGISTRY.span(name)
+
+
+def event(kind: str, message: str = "", **fields: object) -> None:
+    _REGISTRY.event(kind, message, **fields)

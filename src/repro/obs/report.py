@@ -1,0 +1,143 @@
+"""Render a run summary from a telemetry JSONL file (``repro report``).
+
+Works entirely from the exported records: the last ``snapshot`` record
+is cumulative, so the report never needs the full stream — but it reads
+all records anyway to report the snapshot cadence and tolerate torn
+final lines (the exporter may have died mid-write).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .metrics import SCHEMA_VERSION
+
+
+def load_telemetry(path: str) -> List[Dict[str, object]]:
+    """All parseable records of one telemetry file, in order."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final line
+            if isinstance(rec, dict):
+                records.append(rec)
+    return records
+
+
+def last_snapshot(records: List[Dict[str, object]]
+                  ) -> Optional[Dict[str, object]]:
+    for rec in reversed(records):
+        if rec.get("kind") == "snapshot":
+            return rec
+    return None
+
+
+def _fmt_rate(n: float, d: float) -> str:
+    return f"{n / d:.1%}" if d else "-"
+
+
+def _section(title: str) -> List[str]:
+    return ["", title, "-" * len(title)]
+
+
+def render_report(path: str) -> str:
+    """The human-readable run summary for one telemetry file."""
+    records = load_telemetry(path)
+    if not records:
+        return f"{path}: no telemetry records"
+    snap = last_snapshot(records)
+    if snap is None:
+        return f"{path}: no snapshot records (run died before the first " \
+               f"export interval?)"
+    schema = snap.get("schema")
+    lines = [f"telemetry report — {path}",
+             f"schema {schema}"
+             + ("" if schema == SCHEMA_VERSION
+                else f" (reader expects {SCHEMA_VERSION})")
+             + f", {len(records)} records"
+             + (", final snapshot" if snap.get("final") else
+                ", run still in flight (no final snapshot)")]
+    progress = snap.get("progress", {})
+    counters = snap.get("counters", {})
+    spans = snap.get("spans", {})
+    events = snap.get("events", {})
+    elapsed = float(snap.get("elapsed_s") or snap.get("uptime_s") or 0.0)
+
+    lines += _section("campaign")
+    shots = counters.get("engine.shots", 0)
+    lines.append(f"points   {progress.get('points_done', 0)}/"
+                 f"{progress.get('points_total', 0)} done")
+    lines.append(f"shots    {progress.get('shots_done', 0):,} aggregated"
+                 f" ({shots:,} sampled)")
+    if elapsed > 0:
+        lines.append(f"elapsed  {elapsed:,.1f}s"
+                     f" ({progress.get('shots_done', 0) / elapsed:,.0f}"
+                     f" sh/s overall)")
+    decisions = counters.get("engine.decisions", 0)
+    if decisions:
+        lines.append(f"adaptive {decisions} watermark decision(s), "
+                     f"{counters.get('engine.early_stops', 0)} early "
+                     f"stop(s)")
+
+    if spans:
+        lines += _section("phase breakdown")
+        total = sum(v["total_s"] for v in spans.values())
+        width = max(len(k) for k in spans)
+        for name, st in sorted(spans.items(),
+                               key=lambda kv: -kv[1]["total_s"]):
+            share = _fmt_rate(st["total_s"], total)
+            lines.append(f"{name:<{width}}  {st['total_s']:9.3f}s "
+                         f"x{st['count']:<7d} {share:>6}")
+
+    hits = counters.get("decode.cache_hits", 0)
+    misses = counters.get("decode.cache_misses", 0)
+    patterns = counters.get("decode.patterns", 0)
+    if hits or misses or patterns:
+        lines += _section("decode cache")
+        lines.append(f"keyed patterns   {patterns:,} "
+                     f"({counters.get('decode.distinct_patterns', 0):,} "
+                     f"distinct in-batch, "
+                     f"{_fmt_rate(counters.get('decode.distinct_patterns', 0), patterns)})")
+        lines.append(f"cache hit rate   {_fmt_rate(hits, hits + misses)} "
+                     f"({hits:,} hits / {misses:,} misses)")
+
+    leases = counters.get("scheduler.leases", 0)
+    if leases or snap.get("workers"):
+        lines += _section("scheduler")
+        lines.append(f"leases dispatched  {leases:,} "
+                     f"({counters.get('scheduler.steals', 0)} steal "
+                     f"refill(s))")
+        crashes = counters.get("scheduler.worker_crashes", 0)
+        if crashes:
+            lines.append(f"worker crashes     {crashes} "
+                         f"({counters.get('scheduler.requeued_leases', 0)}"
+                         f" lease(s) requeued)")
+        for wid, w in sorted(snap.get("workers", {}).items()):
+            lines.append(f"worker {wid}: {w.get('shots', 0):,} shots, "
+                         f"{w.get('shots_per_s', 0):,.0f} sh/s")
+
+    gauges = snap.get("gauges", {})
+    if any(k.startswith("rare.") for k in list(gauges) + list(counters)):
+        lines += _section("rare-event sampling")
+        if "rare.pilot_tilt" in gauges:
+            lines.append(f"pilot rung chosen  "
+                         f"tilt={gauges['rare.pilot_tilt']:g} "
+                         f"({counters.get('rare.pilot_shots', 0):,} pilot "
+                         f"shots)")
+        if "rare.ess" in gauges:
+            lines.append(f"last task ESS      {gauges['rare.ess']:,.1f}")
+
+    if events:
+        lines += _section("events")
+        width = max(len(k) for k in events)
+        for kind, count in sorted(events.items()):
+            lines.append(f"{kind:<{width}}  x{count}")
+
+    return "\n".join(lines)

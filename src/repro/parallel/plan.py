@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, NamedTuple, Optional, Tuple
 
+from .. import obs
 from ..injection.adaptive import AdaptivePolicy
 from ..injection.results import (SIM_BLOCK, ChunkResult, InjectionResult,
                                  normalize_prior)
@@ -185,12 +186,14 @@ class TaskPlan:
             if self.weighted:
                 self.weights = nxt.fold_weights(self.weights)
             if self.adaptive is not None and self.shots >= watermark \
-                    and self.shots < self.target \
-                    and self.adaptive.should_stop(
+                    and self.shots < self.target:
+                obs.counter("engine.decisions").inc()
+                if self.adaptive.should_stop(
                         self.errors, self.shots, self.task.shots,
                         self._weight_stats()):
-                self._stop_at_frontier()
-                break
+                    obs.counter("engine.early_stops").inc()
+                    self._stop_at_frontier()
+                    break
         return True
 
     def _weight_stats(self) -> Optional[WeightStats]:

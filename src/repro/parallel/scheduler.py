@@ -45,6 +45,7 @@ import warnings
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from .. import obs
 from ..injection.adaptive import AdaptivePolicy
 from ..injection.campaign import _normalize_chunk
 from ..injection.results import SIM_BLOCK, ChunkResult, InjectionResult
@@ -70,6 +71,15 @@ TARGET_LEASE_RUN_S = 1.0
 LEASE_RUN_CAP = 32
 #: EWMA smoothing for observed per-shot wall-clock.
 _RATE_ALPHA = 0.5
+
+#: Scheduler metric handles (parent-process registry; cached once —
+#: obs.reset zeroes them in place).
+_OBS_LEASES = obs.counter("scheduler.leases")
+_OBS_STEALS = obs.counter("scheduler.steals")
+_OBS_CRASHES = obs.counter("scheduler.worker_crashes")
+_OBS_REQUEUED = obs.counter("scheduler.requeued_leases")
+_OBS_WORKERS = obs.counter("scheduler.workers_started")
+_OBS_QUEUE = obs.gauge("scheduler.pending_leases")
 
 
 def lease_run_size(pending: int, alive: int, chunk_shots: int,
@@ -101,6 +111,9 @@ def absorb_stale_shards(store: CampaignStore) -> Optional[Dict[str, int]]:
         f"absorbing {len(paths)} leftover worker shard(s) from an "
         f"interrupted parallel run into {store.path!r}",
         RuntimeWarning, stacklevel=2)
+    obs.event("scheduler.stale_shards",
+              f"absorbing {len(paths)} leftover shard(s)",
+              store=store.path, shards=len(paths))
     stats = store.absorb_shards(paths)
     for path in paths:
         os.unlink(path)
@@ -154,6 +167,11 @@ class WorkStealingScheduler:
         self._finalized[plan.index] = True
         if self.store is not None:
             self.store.mark_done(self._keys[plan.index], plan.result())
+        mon = obs.active()
+        if mon is not None:
+            mon.task_done(plan.task, plan.shots, plan.errors,
+                          target=plan.target)
+            mon.tick()
 
     def _absorb_shards(self, worker_ids) -> None:
         if self.store is None:
@@ -189,6 +207,7 @@ class WorkStealingScheduler:
                         RuntimeWarning, stacklevel=2)
                     break
                 workers[wid] = (proc, inbox)
+                _OBS_WORKERS.inc()
             self._deques: Dict[int, Deque[ChunkLease]] = {
                 wid: deque() for wid in workers}
             self._inflight: Dict[int, Dict[Tuple[int, int], ChunkLease]] = {
@@ -218,9 +237,10 @@ class WorkStealingScheduler:
                     continue
                 kind = message[0]
                 if kind == "chunk":
-                    _, wid, task_index, row = message
+                    _, wid, task_index, row, metrics_snap = message
                     self._on_chunk(wid, task_index,
-                                   ChunkResult.from_row(row))
+                                   ChunkResult.from_row(row),
+                                   metrics_snap)
                     # Pump every live worker, not just the reporter: a
                     # worker that went idle while all work was in
                     # flight elsewhere picks new leases back up here.
@@ -245,8 +265,8 @@ class WorkStealingScheduler:
                            (-plan.remaining, self._heap_seq, plan.index))
             self._heap_seq += 1
 
-    def _on_chunk(self, wid: int, task_index: int,
-                  chunk: ChunkResult) -> None:
+    def _on_chunk(self, wid: int, task_index: int, chunk: ChunkResult,
+                  metrics_snap: Optional[dict] = None) -> None:
         plan = self._plans[task_index]
         self._inflight.get(wid, {}).pop((task_index, chunk.start), None)
         if chunk.shots and chunk.elapsed_s > 0.0:
@@ -255,7 +275,16 @@ class WorkStealingScheduler:
             self._sec_per_shot[task_index] = rate if prev is None else \
                 _RATE_ALPHA * rate + (1.0 - _RATE_ALPHA) * prev
         target_before = plan.target
-        plan.record(chunk)
+        with obs.span("aggregate"):
+            plan.record(chunk)
+        mon = obs.active()
+        if mon is not None:
+            if metrics_snap is not None:
+                mon.worker_snapshot(wid, metrics_snap)
+            mon.task_progress(plan.task, plan.shots, plan.errors,
+                              plan.target, plan._weight_stats())
+            _OBS_QUEUE.set(sum(len(p.pending) for p in self._plans))
+            mon.tick()
         if plan.target < target_before:
             # Adaptive stop: drop the task's now-moot leases from every
             # deque (in-flight ones finish and are discarded on
@@ -282,6 +311,7 @@ class WorkStealingScheduler:
             if lease.start >= plan.target:
                 continue    # stopped while queued
             inflight[(lease.task_index, lease.start)] = lease
+            _OBS_LEASES.inc()
             workers[wid][1].put(("chunk", lease.task_index, lease.start,
                                  lease.shots))
 
@@ -306,6 +336,8 @@ class WorkStealingScheduler:
         steal = (len(self._deques[victim]) + 1) // 2
         stolen = [self._deques[victim].pop() for _ in range(steal)]
         self._deques[wid].extend(reversed(stolen))
+        _OBS_STEALS.inc()
+        obs.counter("scheduler.stolen_leases").inc(steal)
         return True
 
     def _reap_dead(self, workers) -> None:
@@ -335,6 +367,12 @@ class WorkStealingScheduler:
                 f"requeued {len(leases)} leased chunk(s) — the campaign "
                 f"continues on {len(self._alive)} worker(s)",
                 RuntimeWarning, stacklevel=2)
+            _OBS_CRASHES.inc()
+            _OBS_REQUEUED.inc(len(leases))
+            obs.event("scheduler.worker_crash",
+                      f"worker {wid} died (exit code {proc.exitcode})",
+                      worker=wid, exitcode=proc.exitcode,
+                      requeued=len(leases))
             for other in list(self._alive):
                 self._pump(other, workers)
 
@@ -344,6 +382,8 @@ class WorkStealingScheduler:
         warnings.warn(
             "no parallel workers remain alive; finishing the campaign "
             "in-process", RuntimeWarning, stacklevel=2)
+        obs.event("scheduler.inline_fallback",
+                  "all workers dead; finishing in-process")
         for plan in plans:
             # Reclaim leases stranded in dead workers' pipelines
             # (descending, so appendleft restores ascending order).

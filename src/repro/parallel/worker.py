@@ -25,6 +25,7 @@ import signal
 import traceback
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..injection.campaign import iter_task_chunks
 from ..injection.results import ChunkResult
 from ..injection.spec import InjectionTask
@@ -68,11 +69,19 @@ def worker_main(worker_id: int, tasks: List[InjectionTask],
 
     Messages in: ``("chunk", task_index, start, shots)`` /
     ``("exit",)``.  Messages out: ``("chunk", worker_id, task_index,
-    row)`` / ``("error", worker_id, task_index, start, shots,
-    traceback)``.  Failures are reported, not raised — a task that
-    cannot execute must surface in the scheduler as a campaign error,
-    not as a silent worker death that looks requeue-able.
+    row, metrics_snapshot)`` / ``("error", worker_id, task_index,
+    start, shots, traceback)``.  Failures are reported, not raised — a
+    task that cannot execute must surface in the scheduler as a
+    campaign error, not as a silent worker death that looks
+    requeue-able.
+
+    The metrics snapshot riding every chunk message is the worker's
+    *cumulative* registry state (zeroed at worker start, so fork
+    inheritance never leaks parent counts): the scheduler merges per
+    worker by replacement, making the transport idempotent — a lost or
+    reordered message can never double-count.
     """
+    obs.reset()
     shard: Optional[CampaignStore] = None
     if store_path is not None:
         shard = CampaignStore(shard_path(store_path, worker_id))
@@ -95,7 +104,8 @@ def worker_main(worker_id: int, tasks: List[InjectionTask],
                 if task_index not in keys:
                     keys[task_index] = task_key(task)
                 shard.append_chunk(keys[task_index], chunk)
-            results.put(("chunk", worker_id, task_index, chunk.to_row()))
+            results.put(("chunk", worker_id, task_index, chunk.to_row(),
+                         obs.registry().snapshot()))
             completed += 1
             _maybe_crash(worker_id, completed)
     finally:

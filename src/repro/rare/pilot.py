@@ -35,6 +35,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..util.rng import derive_seed
 from .sampler import SamplerSpec
 from .stats import (WeightStats, mc_required_shots, required_shots,
@@ -128,6 +129,7 @@ def run_pilot(task, experiment, decoder, noise, program,
             stats = stats + b_stats
             done += size
             block += 1
+            obs.counter("rare.pilot_shots").inc(size)
         rungs.append(PilotRung(tilt=tilt, shots=done, errors=errors,
                                stats=stats))
     return rungs
@@ -153,8 +155,12 @@ def resolve_tilt(task, experiment, decoder, noise, program
                  ) -> SamplerSpec:
     """Resolve an auto-tilt sampler to a concrete pinned tilt."""
     sampler = task.sampler
-    rungs = run_pilot(task, experiment, decoder, noise, program, sampler)
-    tilt = choose_tilt(rungs, sampler.target_rel)
+    with obs.span("pilot"):
+        rungs = run_pilot(task, experiment, decoder, noise, program,
+                          sampler)
+        tilt = choose_tilt(rungs, sampler.target_rel)
+    obs.counter("rare.pilots").inc()
+    obs.gauge("rare.pilot_tilt").set(max(1.0, float(tilt)))
     return dataclasses.replace(sampler, tilt=max(1.0, float(tilt)))
 
 

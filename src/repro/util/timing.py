@@ -1,43 +1,45 @@
-"""Lightweight timing helpers (profiling-first workflow per the guides)."""
+"""Deprecated timing helpers — superseded by :mod:`repro.obs`.
+
+:class:`Stopwatch` now lives in :mod:`repro.obs.metrics` (same API,
+backed by a private metrics registry) and is re-exported here.
+:func:`timed` is kept as a shim: instead of printing to stdout it runs
+an :func:`repro.obs.span` (so the elapsed time lands in the telemetry
+snapshot) and reports through :mod:`logging`, emitting a
+:class:`DeprecationWarning` on use.
+"""
 
 from __future__ import annotations
 
-import time
+import logging
+import warnings
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from time import perf_counter
+from typing import Iterator
 
+from ..obs.metrics import Stopwatch
 
-@dataclass
-class Stopwatch:
-    """Accumulates named wall-clock segments."""
+__all__ = ["Stopwatch", "timed"]
 
-    totals: Dict[str, float] = field(default_factory=dict)
-    counts: Dict[str, int] = field(default_factory=dict)
-
-    @contextmanager
-    def section(self, name: str) -> Iterator[None]:
-        t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            dt = time.perf_counter() - t0
-            self.totals[name] = self.totals.get(name, 0.0) + dt
-            self.counts[name] = self.counts.get(name, 0) + 1
-
-    def report(self) -> str:
-        lines = []
-        for name in sorted(self.totals, key=self.totals.get, reverse=True):
-            lines.append(f"{name:30s} {self.totals[name]:9.3f}s "
-                         f"x{self.counts[name]}")
-        return "\n".join(lines)
+logger = logging.getLogger("repro.timing")
 
 
 @contextmanager
 def timed(label: str = "") -> Iterator[None]:
-    """Print elapsed wall time of a block (debug convenience)."""
-    t0 = time.perf_counter()
+    """Deprecated: time a block via ``repro.obs.span`` instead.
+
+    The shim still times the block — as an obs span named after the
+    label, logged at INFO level — but no longer prints to stdout.
+    """
+    warnings.warn(
+        "repro.util.timing.timed is deprecated; use repro.obs.span "
+        "(spans feed the telemetry snapshot) or logging directly",
+        DeprecationWarning, stacklevel=3)
+    from .. import obs
+
+    name = label or "timed"
+    t0 = perf_counter()
     try:
-        yield
+        with obs.span(name):
+            yield
     finally:
-        print(f"[{label or 'timed'}] {time.perf_counter() - t0:.3f}s")
+        logger.info("[%s] %.3fs", name, perf_counter() - t0)
