@@ -11,12 +11,22 @@ Usage::
     repro campaign spec.json -j 8   # block-level work-stealing scheduler
     repro fig6 --backend tableau    # pin the batched-tableau backend
     repro store merge all.jsonl hostA.jsonl hostB.jsonl
+    repro store lookup sweep.jsonl --key 860e    # cached counts by key
+    repro serve --store shared.jsonl --port 8765 # campaign service
+    repro serve --runner http://head:8765        # pull-based worker
+    repro submit spec.json --wait                # submit to the service
+    repro status job-1                           # poll a service job
 
 ``repro campaign`` runs an arbitrary sweep described by a JSON spec
 (codes × architectures × faults × noise levels — see
 :mod:`repro.injection.sweep`) through the orchestration engine, with
 JSONL checkpointing (``--store``, resumable by re-running the same
 command) and adaptive shot allocation (``--adaptive REL``).
+
+``repro serve`` exposes the same engine as a JSON-over-HTTP service
+(:mod:`repro.service`): sweep submissions are canonicalised to task
+keys, answered from the shared store on cache hit, coalesced onto
+in-flight work when identical, and simulated only on miss.
 """
 
 from __future__ import annotations
@@ -348,6 +358,122 @@ def cmd_rare(args) -> None:
               f"same target)")
 
 
+def cmd_serve(args) -> None:
+    if args.runner:
+        from .service.runner import run_runner
+
+        try:
+            done = run_runner(args.runner, runner_id=args.runner_id,
+                              poll_s=args.poll,
+                              idle_timeout_s=args.idle_timeout,
+                              max_slices=args.max_slices)
+        except Exception as exc:  # noqa: BLE001 — CLI boundary
+            sys.exit(f"error: {exc}")
+        print(f"runner finished: {done} slice(s) completed")
+        return
+    if not args.store:
+        sys.exit("error: repro serve needs --store PATH "
+                 "(or --runner URL for worker mode)")
+    import asyncio
+    import signal
+
+    from .service.server import CampaignService
+
+    svc = CampaignService(args.store, host=args.host, port=args.port,
+                          workers=args.serve_workers,
+                          slice_shots=args.slice_shots,
+                          lease_ttl_s=args.lease_ttl,
+                          telemetry=args.service_telemetry)
+
+    async def _serve() -> None:
+        await svc.start()
+        print(f"serving campaigns at {svc.url} "
+              f"(store {svc.store.path}, "
+              f"{svc.workers} local worker(s))", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover — non-POSIX
+                pass
+        await stop.wait()
+        print("shutting down (draining local slices)...", flush=True)
+        await svc.stop()
+
+    asyncio.run(_serve())
+
+
+def _service_client(args):
+    from .service.client import ServiceClient
+
+    return ServiceClient(args.url, timeout_s=args.timeout)
+
+
+def cmd_submit(args) -> None:
+    from .service.client import ServiceError
+
+    with open(args.spec, "r", encoding="utf-8") as fh:
+        spec = json.load(fh)
+    if args.shots is not None:
+        spec["shots"] = args.shots
+    client = _service_client(args)
+    try:
+        receipt = client.submit(spec)
+        print(f"{receipt['job']}: {receipt['points']} point(s) — "
+              f"{receipt['cache_hits']} cached, "
+              f"{receipt['coalesced']} coalesced, "
+              f"{receipt['fresh']} fresh [{receipt['state']}]")
+        if not args.wait:
+            if receipt["state"] != "done":
+                print(f"poll with: repro status {receipt['job']} "
+                      f"--url {args.url}")
+                return
+            status = client.status(receipt["job"])
+        else:
+            status = client.wait(receipt["job"],
+                                 timeout_s=args.wait_timeout)
+    except ServiceError as exc:
+        sys.exit(f"error: {exc}")
+    rows = status.get("results", [])
+    if rows:
+        _write(rows, args, f"Service results — {receipt['job']}",)
+
+
+def cmd_status(args) -> None:
+    from .service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        status = client.status(args.job)
+    except ServiceError as exc:
+        sys.exit(f"error: {exc}")
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True, default=str))
+        return
+    if args.job is None:
+        counters = status.pop("counters", {})
+        for key in ("jobs", "jobs_running", "points_inflight",
+                    "slices_pending", "leases_outstanding", "store",
+                    "store_done"):
+            print(f"{key:>20}: {status.get(key)}")
+        print(f"{'jobs seen':>20}: "
+              f"{', '.join(status.get('job_ids', [])) or '-'}")
+        line = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        print(f"{'service counters':>20}: {line}")
+        return
+    print(f"{status['job']}: {status['state']} — "
+          f"{status['points_done']}/{status['points']} point(s), "
+          f"{status['shots_done']}/{status['shots_target']} shots "
+          f"({status['cache_hits']} cached, {status['coalesced']} "
+          f"coalesced, {status['fresh']} fresh)")
+    tasks = status.get("tasks", [])
+    if tasks:
+        print()
+        print(ascii_table(tasks, columns=[
+            "label", "status", "shots", "target", "errors", "ler"]))
+
+
 def cmd_store(args) -> None:
     from .injection.store import CampaignStore
 
@@ -375,6 +501,54 @@ def cmd_store(args) -> None:
             print(f"warning: {conflicts} duplicate record(s) disagreed "
                   f"on counts — shards may come from different code "
                   f"versions; investigate before trusting the merge")
+        return
+
+    if not os.path.exists(args.path):
+        sys.exit(f"error: no store at {args.path}")
+    store = CampaignStore(args.path)
+
+    if args.store_command == "stats":
+        s = store.stats()
+        print(f"store {s['path']}:")
+        for key in ("keys", "done", "partial", "chunk_records",
+                    "done_shots", "done_errors"):
+            print(f"  {key:>14}: {s[key]:,}" if isinstance(s[key], int)
+                  else f"  {key:>14}: {s[key]}")
+        return
+
+    if args.store_command == "lookup":
+        if (args.spec is None) == (args.key is None):
+            sys.exit("error: lookup needs exactly one of --spec FILE "
+                     "or --key PREFIX")
+        if args.spec is not None:
+            from .injection.sweep import build_sweep
+
+            with open(args.spec, "r", encoding="utf-8") as fh:
+                spec = json.load(fh)
+            try:
+                tasks = build_sweep(spec)._seeded()
+            except (KeyError, TypeError, ValueError) as exc:
+                sys.exit(f"error: bad sweep spec: {exc}")
+            rows = [store.lookup(t) for t in tasks]
+            columns = ["label", "key", "status", "shots",
+                       "target_shots", "errors", "ler", "ler_lo",
+                       "ler_hi"]
+        else:
+            rows = [store.key_stats(k)
+                    for k in store.find_keys(args.key)]
+            if not rows:
+                print(f"no keys matching {args.key!r} in {args.path}")
+                return
+            columns = ["key", "status", "label", "shots", "errors",
+                       "chunk_records", "ler", "ler_lo", "ler_hi"]
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True,
+                             default=str))
+            return
+        print(ascii_table(rows, columns=columns,
+                          title=f"Store lookup — {args.path}"))
+        hits = sum(1 for r in rows if r.get("status") == "done")
+        print(f"\n{hits}/{len(rows)} point(s) fully cached")
 
 
 def cmd_report(args) -> None:
@@ -400,6 +574,9 @@ COMMANDS = {
     "rare": cmd_rare,
     "store": cmd_store,
     "report": cmd_report,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
 }
 
 
@@ -592,6 +769,104 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("--quiet", action="store_true",
                        help="suppress the compaction summary (conflict "
                             "warnings still print)")
+    lookup = store_subs.add_parser(
+        "lookup", help="query cached counts / LER / CI by sweep spec "
+                       "or key prefix (the service's cache-hit path, "
+                       "as a CLI)")
+    lookup.add_argument("path", type=str, help="store JSONL file")
+    lookup.add_argument("--spec", type=str, default=None,
+                        help="sweep spec (JSON file): resolve every "
+                             "point to its task key and report cached "
+                             "state")
+    lookup.add_argument("--key", type=str, default=None,
+                        metavar="PREFIX",
+                        help="report every key matching this hex "
+                             "prefix ('' lists the whole store)")
+    lookup.add_argument("--json", action="store_true",
+                        help="emit rows as JSON instead of a table")
+    sstats = store_subs.add_parser(
+        "stats", help="whole-store summary: keys, completed points, "
+                      "resumable chunks, banked shots")
+    sstats.add_argument("path", type=str, help="store JSONL file")
+    serve = subs.add_parser(
+        "serve", help="campaign service: HTTP dispatch head over a "
+                      "shared store (or --runner URL to pull slices "
+                      "for a remote head)")
+    serve.add_argument("--store", type=str, default=None,
+                       help="shared content-addressed store (system of "
+                            "record; created if missing)")
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port (0 = ephemeral; default 8765)")
+    serve.add_argument("-j", "--workers", dest="serve_workers",
+                       type=int, default=1, metavar="N",
+                       help="local slice workers: 1 (default) runs "
+                            "in-process, N>1 forks a pool, 0 serves "
+                            "dispatch only (remote runners do the "
+                            "work)")
+    serve.add_argument("--slice-shots", type=int, default=None,
+                       help="shots per dispatched slice (block-"
+                            "aligned; default: the engine's chunk "
+                            "size)")
+    serve.add_argument("--lease-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="slice lease expiry — a runner silent this "
+                            "long is presumed crashed and its slice "
+                            "requeued")
+    serve.add_argument("--telemetry", dest="service_telemetry",
+                       type=str, default=None, metavar="PATH",
+                       help="append service telemetry snapshots "
+                            "(JSONL) here; render with 'repro report'")
+    serve.add_argument("--runner", type=str, default=None,
+                       metavar="URL",
+                       help="runner mode: pull slice leases from the "
+                            "dispatch head at URL instead of serving")
+    serve.add_argument("--runner-id", type=str, default=None,
+                       help="runner name reported to the head "
+                            "(default host-pid)")
+    serve.add_argument("--poll", type=float, default=0.5,
+                       help="runner idle poll interval, seconds")
+    serve.add_argument("--idle-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="runner exits after this long with no "
+                            "work (default: poll forever)")
+    serve.add_argument("--max-slices", type=int, default=None,
+                       help="runner exits after completing this many "
+                            "slices")
+    submit = subs.add_parser(
+        "submit", help="submit a sweep spec (JSON) to a campaign "
+                       "service")
+    submit.add_argument("spec", type=str,
+                        help="path to the sweep spec (JSON)")
+    submit.add_argument("--url", type=str,
+                        default="http://127.0.0.1:8765",
+                        help="service base URL")
+    submit.add_argument("--shots", type=int, default=None,
+                        help="override the spec's per-point shot "
+                             "budget")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job completes and print "
+                             "the result table")
+    submit.add_argument("--wait-timeout", type=float, default=3600.0,
+                        help="give up waiting after this many seconds")
+    submit.add_argument("--timeout", type=float, default=60.0,
+                        help="per-request HTTP timeout, seconds")
+    submit.add_argument("--csv", type=str, default=None,
+                        help="with --wait: also write result rows to "
+                             "this CSV file")
+    status = subs.add_parser(
+        "status", help="query a campaign service (overview, or one "
+                       "job's progress and results)")
+    status.add_argument("job", type=str, nargs="?", default=None,
+                        help="job id (omit for the service overview)")
+    status.add_argument("--url", type=str,
+                        default="http://127.0.0.1:8765",
+                        help="service base URL")
+    status.add_argument("--timeout", type=float, default=60.0,
+                        help="per-request HTTP timeout, seconds")
+    status.add_argument("--json", action="store_true",
+                        help="emit the raw JSON response")
     report = subs.add_parser(
         "report", help="render a run summary from a telemetry JSONL "
                        "file written via --telemetry")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..arch import ArchitectureGraph, by_name
 from ..codes import (
@@ -23,7 +23,7 @@ from ..codes import (
 )
 from ..decoders.spec import DecoderSpec, as_decoder
 from ..frames.backend import validate_backend
-from ..rare.sampler import SamplerSpec
+from ..rare.sampler import SamplerSpec, as_sampler
 
 
 @dataclass(frozen=True)
@@ -207,6 +207,43 @@ class InjectionTask:
         if self.sampler.weighted:
             parts.append(f"~{self.sampler.label}")
         return " ".join(parts)
+
+
+def task_from_dict(d: Mapping[str, Any]) -> InjectionTask:
+    """Rebuild an :class:`InjectionTask` from its canonical dict.
+
+    Inverse of :func:`repro.injection.store.canonical_task` after a JSON
+    round trip: the wire form is what the campaign service ships to pull
+    runners and what ``done`` store records embed, so a reconstructed
+    task must hash to the **same task key** as the original.  Values are
+    therefore passed through untouched (JSON preserves int-vs-float, and
+    a coercion here would silently re-key the point); only JSON's
+    structural lossiness is undone — lists become the tuples the frozen
+    dataclasses expect.
+    """
+    code = d["code"]
+    fault = dict(d.get("fault") or {})
+    if "qubits" in fault:
+        fault["qubits"] = tuple(fault["qubits"])
+    arch = d.get("arch")
+    return InjectionTask(
+        code=CodeSpec(kind=code["kind"], distance=tuple(code["distance"])),
+        fault=FaultSpec(**fault),
+        arch=None if arch is None else ArchSpec(
+            name=arch["name"], args=tuple(arch.get("args", ()))),
+        layout=d.get("layout", "best"),
+        intrinsic_p=d.get("intrinsic_p", 0.01),
+        rounds=d.get("rounds", 2),
+        basis=d.get("basis", "Z"),
+        decoder=as_decoder(d.get("decoder")),
+        readout=d.get("readout", "ancilla"),
+        backend=d.get("backend", "auto"),
+        recovery=d.get("recovery", "static"),
+        sampler=as_sampler(d.get("sampler")),
+        shots=d.get("shots", 2000),
+        seed=d.get("seed", 0),
+        tags=tuple((str(k), str(v)) for k, v in d.get("tags", ())),
+    )
 
 
 # ----------------------------------------------------------------------

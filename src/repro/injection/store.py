@@ -214,6 +214,94 @@ class CampaignStore:
     def __len__(self) -> int:
         return len(self._done)
 
+    # -- lookup --------------------------------------------------------
+    def keys(self) -> List[str]:
+        """Every task key with any record (done or chunk), sorted."""
+        return sorted(set(self._done) | set(self._chunks))
+
+    def find_keys(self, prefix: str = "") -> List[str]:
+        """Keys matching a (possibly empty) hex prefix, sorted."""
+        return [k for k in self.keys() if k.startswith(prefix)]
+
+    def key_stats(self, key: str) -> Dict[str, object]:
+        """Cached state of one key: status, counts, rate and CI.
+
+        ``status`` is ``"done"`` (a completed point), ``"partial"``
+        (banked chunks only — the resumable prefix's counts are
+        reported) or ``"absent"``.  This is the content-addressed
+        cache-hit path shared by ``repro store lookup`` and the
+        campaign service: a popular point is a dictionary read here,
+        never a simulation.
+        """
+        from .results import wilson_interval
+
+        rec = self._done.get(key)
+        chunks = self._chunks.get(key, ())
+        row: Dict[str, object] = {
+            "key": key,
+            "chunk_records": len(chunks),
+        }
+        if rec is not None:
+            row["status"] = "done"
+            row["shots"] = int(rec["shots"])
+            row["errors"] = int(rec["errors"])
+            row["raw_errors"] = int(rec["raw_errors"])
+            row["corrections"] = int(rec["corrections"])
+            if rec.get("label") is not None:
+                row["label"] = rec["label"]
+            if rec.get("seed") is not None:
+                row["seed"] = rec["seed"]
+        else:
+            shots, errors, raw, corr, _, _, _ = self.partial(key)
+            row["status"] = "partial" if chunks else "absent"
+            row["shots"] = shots
+            row["errors"] = errors
+            row["raw_errors"] = raw
+            row["corrections"] = corr
+        shots, errors = int(row["shots"]), int(row["errors"])
+        if shots:
+            lo, hi = wilson_interval(errors, shots)
+            row["ler"] = errors / shots
+            row["ler_lo"] = lo
+            row["ler_hi"] = hi
+        return row
+
+    def lookup(self, task: InjectionTask) -> Dict[str, object]:
+        """Cached state of one task spec (:func:`task_key` resolution).
+
+        Like :meth:`key_stats` but weighted-sampler aware: a completed
+        importance-sampled point reports its self-normalized weighted
+        LER and weighted-Wilson CI (the estimates :meth:`result_for`
+        would reconstruct), not the raw failure fraction.
+        """
+        key = task_key(task)
+        row = self.key_stats(key)
+        row["label"] = task.label
+        row["target_shots"] = task.shots
+        result = self.result_for(task)
+        if result is not None and result.weighted:
+            lo, hi = result.confidence_interval
+            row["ler"] = result.logical_error_rate
+            row["ler_lo"] = lo
+            row["ler_hi"] = hi
+            row["ess"] = result.weight_stats.ess
+        return row
+
+    def stats(self) -> Dict[str, object]:
+        """Whole-store summary (``repro store stats``)."""
+        chunk_records = sum(len(c) for c in self._chunks.values())
+        return {
+            "path": self.path,
+            "keys": len(self.keys()),
+            "done": len(self._done),
+            "partial": len(set(self._chunks) - set(self._done)),
+            "chunk_records": chunk_records,
+            "done_shots": sum(int(r["shots"])
+                              for r in self._done.values()),
+            "done_errors": sum(int(r["errors"])
+                               for r in self._done.values()),
+        }
+
     # -- writing -------------------------------------------------------
     def _append(self, rec: Dict[str, object]) -> None:
         if self._fh is None:

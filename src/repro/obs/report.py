@@ -63,7 +63,8 @@ def render_report(path: str) -> str:
                 else f" (reader expects {SCHEMA_VERSION})")
              + f", {len(records)} records"
              + (", final snapshot" if snap.get("final") else
-                ", run still in flight (no final snapshot)")]
+                " — PARTIAL: run still in flight (no final snapshot; "
+                "latest snapshot shown)")]
     progress = snap.get("progress", {})
     counters = snap.get("counters", {})
     spans = snap.get("spans", {})
@@ -107,6 +108,25 @@ def render_report(path: str) -> str:
                      f"{_fmt_rate(counters.get('decode.distinct_patterns', 0), patterns)})")
         lines.append(f"cache hit rate   {_fmt_rate(hits, hits + misses)} "
                      f"({hits:,} hits / {misses:,} misses)")
+
+    service = snap.get("service", {})
+    if service:
+        lines += _section("service")
+        lines.append(f"jobs        {service.get('jobs', 0)} submitted, "
+                     f"{service.get('jobs_done', 0)} complete")
+        lines.append(f"points      {service.get('points', 0)} queued "
+                     f"fresh, {service.get('points_done', 0)} finished")
+        lines.append(f"cache       {service.get('cache_hits', 0)} "
+                     f"hit(s), {service.get('coalesced', 0)} coalesced "
+                     f"submission(s)")
+        lines.append(f"dispatch    {service.get('leases', 0)} lease(s) "
+                     f"issued, {service.get('slices_completed', 0)} "
+                     f"slice(s) absorbed")
+        crashes = service.get("runner_crashes", 0)
+        failed = service.get("failed_leases", 0)
+        if crashes or failed:
+            lines.append(f"failures    {crashes} runner crash(es), "
+                         f"{failed} failed lease(s) — slices requeued")
 
     leases = counters.get("scheduler.leases", 0)
     if leases or snap.get("workers"):

@@ -41,6 +41,8 @@ import heapq
 import multiprocessing as mp
 import os
 import queue
+import signal
+import threading
 import warnings
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
@@ -191,6 +193,20 @@ class WorkStealingScheduler:
         workers: Dict[int, Tuple[object, object]] = {}  # wid -> (proc, inbox)
         tasks = [plan.task for plan in plans]
         store_path = self.store.path if self.store is not None else None
+        # Graceful shutdown: a SIGTERM (service stop, batch-system
+        # preemption) becomes a KeyboardInterrupt so it unwinds through
+        # the same finally as Ctrl+C — workers drained, shards absorbed
+        # — instead of killing the parent with shards on disk (the
+        # stale-shard recovery path).  Only installable from the main
+        # thread; elsewhere SIGTERM keeps its default meaning.
+        previous_term = None
+        if threading.current_thread() is threading.main_thread():
+
+            def _term_to_interrupt(signum, frame):
+                raise KeyboardInterrupt
+
+            previous_term = signal.signal(signal.SIGTERM,
+                                          _term_to_interrupt)
         try:
             for wid in range(num_workers):
                 inbox = ctx.Queue()
@@ -254,9 +270,41 @@ class WorkStealingScheduler:
                 raise RuntimeError(
                     f"parallel campaign point {task.label!r} failed in a "
                     f"worker:\n{tb}")
+        except KeyboardInterrupt:
+            # Requeue every lease still on a deque or in flight (parent
+            # bookkeeping so the plans' pending state is honest), count
+            # what the interrupt abandoned, and let the finally drain
+            # workers + absorb their shards: every chunk that actually
+            # ran reaches the store, and the resume is warning-free.
+            requeued = 0
+            for wid in getattr(self, "_inflight", {}):
+                leases = list(self._inflight[wid].values()) \
+                    + list(self._deques[wid])
+                self._inflight[wid].clear()
+                self._deques[wid].clear()
+                for lease in sorted(leases,
+                                    key=lambda lease: lease.start,
+                                    reverse=True):
+                    self._plans[lease.task_index].give_back(lease)
+                    requeued += 1
+            done = sum(1 for f in self._finalized if f)
+            warnings.warn(
+                f"campaign interrupted: {done}/{len(plans)} point(s) "
+                f"complete, {requeued} leased chunk(s) requeued; worker "
+                f"shards absorbed — rerun with the same store to "
+                f"resume", RuntimeWarning, stacklevel=2)
+            _OBS_REQUEUED.inc(requeued)
+            obs.event("scheduler.interrupted",
+                      f"interrupt: {done}/{len(plans)} point(s) done, "
+                      f"{requeued} lease(s) requeued, shards absorbed",
+                      points_done=done, points_total=len(plans),
+                      requeued=requeued)
+            raise
         finally:
             self._shutdown(workers)
             self._absorb_shards(list(workers))
+            if previous_term is not None:
+                signal.signal(signal.SIGTERM, previous_term)
 
     def _push_plan(self, plan: TaskPlan) -> None:
         """(Re-)enter a task into the priority queue, deepest-first."""

@@ -1,0 +1,129 @@
+"""Stdlib HTTP client for the campaign service.
+
+Backs ``repro submit`` / ``repro status`` and the pull runner; tests
+use it to drive a real server end-to-end.  One request, one JSON
+response — mirrors the server's ``Connection: close`` protocol, so a
+plain :mod:`urllib.request` round trip per call is the whole client.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Mapping, Optional
+
+
+class ServiceError(RuntimeError):
+    """A service-level failure: HTTP error status or unreachable host."""
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 payload: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """Typed wrapper over the service's JSON endpoints."""
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Mapping[str, Any]] = None
+                 ) -> Dict[str, object]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(self.base_url + path, data=data,
+                                     headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req,
+                                        timeout=self.timeout_s) as resp:
+                return json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except ValueError:
+                payload = {}
+            raise ServiceError(
+                str(payload.get("error",
+                                f"HTTP {exc.code} from {path}")),
+                status=exc.code, payload=payload) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"service unreachable at {self.base_url}: "
+                f"{exc.reason}") from exc
+
+    # -- client surface ------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/health")
+
+    def submit(self, spec: Mapping[str, Any]) -> Dict[str, object]:
+        return self._request("POST", "/submit", {"spec": dict(spec)})
+
+    def status(self, job: Optional[str] = None) -> Dict[str, object]:
+        if job is None:
+            return self._request("GET", "/status")
+        return self._request("GET", f"/jobs/{job}")
+
+    def wait(self, job: str, timeout_s: float = 300.0,
+             poll_s: float = 0.2) -> Dict[str, object]:
+        """Poll one job to completion; returns its final status."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job)
+            if status.get("state") == "done":
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job} still running after {timeout_s:g}s "
+                    f"({status.get('shots_done')}/"
+                    f"{status.get('shots_target')} shots)")
+            time.sleep(poll_s)
+
+    def lookup(self, spec: Optional[Mapping[str, Any]] = None,
+               key: Optional[str] = None) -> List[Dict[str, object]]:
+        body: Dict[str, Any] = {}
+        if spec is not None:
+            body["spec"] = dict(spec)
+        if key is not None:
+            body["key"] = key
+        rows = self._request("POST", "/lookup", body).get("rows", [])
+        return list(rows)
+
+    def store_stats(self) -> Dict[str, object]:
+        return self._request("GET", "/store")
+
+    # -- runner surface ------------------------------------------------
+    def lease(self, runner: str = "remote", max_leases: int = 1,
+              ttl_s: Optional[float] = None
+              ) -> List[Dict[str, object]]:
+        body: Dict[str, Any] = {"runner": runner, "max": max_leases}
+        if ttl_s is not None:
+            body["ttl_s"] = ttl_s
+        return list(self._request("POST", "/lease",
+                                  body).get("leases", []))
+
+    def complete(self, lease: str, chunks: List[Mapping[str, Any]],
+                 runner: Optional[str] = None,
+                 key: Optional[str] = None) -> Dict[str, object]:
+        body: Dict[str, Any] = {"lease": lease,
+                                "chunks": [dict(c) for c in chunks]}
+        if runner is not None:
+            body["runner"] = runner
+        if key is not None:
+            body["key"] = key
+        return self._request("POST", "/complete", body)
+
+    def fail(self, lease: str, error: str = "",
+             runner: Optional[str] = None) -> Dict[str, object]:
+        body: Dict[str, Any] = {"lease": lease, "error": error}
+        if runner is not None:
+            body["runner"] = runner
+        return self._request("POST", "/fail", body)

@@ -1,0 +1,565 @@
+"""The service core: content-addressed cache front + slice dispatch.
+
+The dispatcher is deliberately synchronous and single-threaded: every
+method is called from the server's event loop (or directly from tests),
+so its state transitions are atomic by construction — a slice completes
+and its chunk lands in the shared :class:`~repro.injection.store.
+CampaignStore` in one indivisible step, and two identical submissions
+racing each other can never both miss the in-flight table.
+
+Traffic splits three ways at submit time, per point:
+
+``cache hit``
+    The store already holds a completed result with at least the
+    requested budget — served without simulating anything.
+``coalesced``
+    The point is already in flight (another job asked for the same
+    task key); the new job subscribes to the existing computation
+    instead of duplicating it.
+``fresh``
+    Remaining shots (the store's resumable partial prefix is banked
+    first, so even a half-finished point never re-simulates) are
+    partitioned into block-aligned slice leases that local pool
+    workers and remote pull runners drain through one API.
+
+Leases carry a deadline: a runner that crashes mid-slice simply never
+completes it, the lease expires, and the slice is requeued — canonical
+block seeding makes the re-run bit-identical, so crash recovery never
+perturbs counts.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
+
+from .. import obs
+from ..injection.campaign import DEFAULT_CHUNK_SHOTS, _assemble, \
+    _normalize_chunk
+from ..injection.results import ChunkResult, InjectionResult, \
+    normalize_prior
+from ..injection.spec import InjectionTask, task_from_dict
+from ..injection.store import CampaignStore, canonical_task, task_key
+from ..injection.sweep import build_sweep
+from ..parallel.plan import plan_leases
+
+#: Default lease time-to-live: a slice not completed (or failed) this
+#: many seconds after leasing is presumed lost to a runner crash and
+#: requeued.
+DEFAULT_LEASE_TTL_S = 120.0
+
+#: Service metric handles (cached once; obs.reset zeroes in place).
+_OBS_JOBS = obs.counter("service.jobs")
+_OBS_POINTS = obs.counter("service.points")
+_OBS_CACHE_HITS = obs.counter("service.cache_hits")
+_OBS_COALESCED = obs.counter("service.coalesced")
+_OBS_LEASES = obs.counter("service.leases")
+_OBS_SLICES = obs.counter("service.slices_completed")
+_OBS_POINTS_DONE = obs.counter("service.points_done")
+_OBS_JOBS_DONE = obs.counter("service.jobs_done")
+_OBS_CRASHES = obs.counter("service.runner_crashes")
+_OBS_FAILED = obs.counter("service.failed_leases")
+
+
+class DispatchError(ValueError):
+    """A malformed request (bad spec, unknown lease) — client error."""
+
+
+class UnknownJobError(KeyError):
+    """Status query for a job id this service never issued."""
+
+
+@dataclass
+class Lease:
+    """One outstanding slice lease."""
+
+    lease_id: str
+    key: str
+    task: InjectionTask
+    start: int
+    shots: int
+    runner: str
+    deadline: float
+
+    def to_wire(self) -> Dict[str, object]:
+        """The JSON form shipped to pull runners: the canonical task
+        dict (key-stable under :func:`~repro.injection.spec.
+        task_from_dict`) plus the slice coordinates."""
+        return {
+            "lease": self.lease_id,
+            "key": self.key,
+            "task": canonical_task(self.task),
+            "start": self.start,
+            "shots": self.shots,
+        }
+
+
+class PointState:
+    """One in-flight campaign point: slice queue + contiguous frontier.
+
+    The service twin of :class:`repro.parallel.plan.TaskPlan`, minus
+    adaptive stopping (service jobs run their spec's fixed budget —
+    which is what makes a cached result reusable by *every* later
+    request for the same key).  Out-of-order slice completions park in
+    ``_completed`` until the frontier reaches them, so the weight-fold
+    order — and therefore every weighted count — matches a serial run
+    exactly.
+    """
+
+    def __init__(self, key: str, task: InjectionTask, prior: Tuple,
+                 slice_shots: int) -> None:
+        self.key = key
+        self.task = task
+        (self.shots, self.errors, self.raw_errors, self.corrections,
+         self.elapsed_s, self.chunks, weights) = normalize_prior(prior)
+        self.weighted = task.sampler.weighted
+        self.weights = (weights or (0.0, 0.0, 0.0, 0.0)) \
+            if self.weighted else None
+        self.target = task.shots
+        self.pending: Deque[Tuple[int, int]] = deque(
+            (lease.start, lease.shots) for lease in plan_leases(
+                0, self.shots, self.target, slice_shots, None, task.shots))
+        #: Completed-but-not-yet-contiguous chunks, keyed by start.
+        self._completed: Dict[int, ChunkResult] = {}
+        #: Starts currently leased out (requeue bookkeeping).
+        self.leased: Dict[int, str] = {}
+        #: Job ids subscribed to this computation.
+        self.jobs: set = set()
+
+    @property
+    def done(self) -> bool:
+        return self.shots >= self.target
+
+    def record(self, chunk: ChunkResult) -> bool:
+        """Bank one completed slice; ``True`` if it was new.
+
+        Duplicates (an expired lease completed late, a crash re-run)
+        and already-banked ranges are discarded, keeping counts a
+        function of the canonical prefix alone.
+        """
+        self.leased.pop(chunk.start, None)
+        if chunk.start in self._completed or chunk.start < self.shots \
+                or chunk.start >= self.target:
+            return False
+        self._completed[chunk.start] = chunk
+        while self.shots in self._completed:
+            nxt = self._completed.pop(self.shots)
+            self.shots = nxt.end
+            self.errors += nxt.errors
+            self.raw_errors += nxt.raw_errors
+            self.corrections += nxt.corrections_applied
+            self.elapsed_s += nxt.elapsed_s
+            self.chunks += 1
+            if self.weighted:
+                self.weights = nxt.fold_weights(self.weights)
+        return True
+
+    def requeue(self, start: int, shots: int) -> None:
+        """Return an expired/failed lease's slice to the front of the
+        queue (front-first keeps the frontier contiguous)."""
+        self.leased.pop(start, None)
+        if start >= self.shots and start not in self._completed:
+            self.pending.appendleft((start, shots))
+
+    def result(self) -> InjectionResult:
+        return _assemble(self.task, self.shots, self.errors,
+                         self.raw_errors, self.corrections,
+                         self.elapsed_s, self.chunks,
+                         self.weights if self.weighted else None)
+
+    def row(self) -> Dict[str, object]:
+        """Progress row for status responses (partial results included:
+        a client polling an in-progress point sees live counts)."""
+        row: Dict[str, object] = {
+            "key": self.key, "label": self.task.label,
+            "status": "running" if (self.leased or self.shots) else
+            "queued",
+            "shots": self.shots, "target": self.target,
+            "errors": self.errors,
+        }
+        if self.shots:
+            from ..injection.results import wilson_interval
+
+            lo, hi = wilson_interval(self.errors, self.shots)
+            row["ler"] = self.errors / self.shots
+            row["ler_lo"] = lo
+            row["ler_hi"] = hi
+        return row
+
+
+class Job:
+    """One submitted sweep: an ordered list of points and their
+    submit-time classification."""
+
+    def __init__(self, job_id: str, tasks: List[InjectionTask],
+                 keys: List[str]) -> None:
+        self.job_id = job_id
+        self.tasks = tasks
+        self.keys = keys
+        self.created = time.time()
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.fresh = 0
+        #: Keys whose computation this job still waits on.
+        self.pending: set = set()
+
+    @property
+    def done(self) -> bool:
+        return not self.pending
+
+
+class Dispatcher:
+    """Canonicalise, dedupe, cache-check and dispatch sweep traffic.
+
+    Single-threaded by contract: the HTTP server calls every method on
+    its event loop; tests call them directly.  The shared store is the
+    durable system of record — jobs are in-memory session objects, but
+    every completed chunk and point survives a service restart.
+    """
+
+    def __init__(self, store: CampaignStore,
+                 slice_shots: Optional[int] = None,
+                 lease_ttl_s: float = DEFAULT_LEASE_TTL_S) -> None:
+        self.store = store
+        self.slice_shots = _normalize_chunk(
+            DEFAULT_CHUNK_SHOTS if slice_shots is None else slice_shots)
+        self.lease_ttl_s = float(lease_ttl_s)
+        #: In-flight points by task key (insertion order = dispatch
+        #: order; completed points leave the table).
+        self.points: Dict[str, PointState] = {}
+        self.jobs: Dict[str, Job] = {}
+        self._leases: Dict[str, Lease] = {}
+        self._job_seq = itertools.count(1)
+        self._lease_seq = itertools.count(1)
+        #: Fresh-work progress (banked-prefix shots vs. targets of
+        #: every point the service ever queued; cache hits excluded —
+        #: they are not work).
+        self._shots_done = 0
+        self._shots_target = 0
+
+    # -- submission ----------------------------------------------------
+    def submit(self, spec: Mapping[str, Any]) -> Dict[str, object]:
+        """Accept one sweep spec; classify every point; queue fresh work.
+
+        Returns the submit receipt: job id plus the cache-hit /
+        coalesced / fresh split — a client that sees ``fresh == 0`` and
+        ``coalesced == 0`` knows its answer never touched a simulator.
+        """
+        try:
+            campaign = build_sweep(spec)
+            tasks = campaign._seeded()
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DispatchError(f"bad sweep spec: {exc}") from exc
+        job_id = f"job-{next(self._job_seq)}"
+        keys = [task_key(t) for t in tasks]
+        job = Job(job_id, tasks, keys)
+        for task, key in zip(tasks, keys):
+            if key in self.points:
+                job.coalesced += 1
+                _OBS_COALESCED.inc()
+                self.points[key].jobs.add(job_id)
+                job.pending.add(key)
+                continue
+            banked = self.store.result_for(task)
+            if banked is not None and banked.shots >= task.shots:
+                job.cache_hits += 1
+                _OBS_CACHE_HITS.inc()
+                continue
+            job.fresh += 1
+            point = PointState(key, task, self.store.partial(key),
+                               self.slice_shots)
+            point.jobs.add(job_id)
+            self.points[key] = point
+            job.pending.add(key)
+            _OBS_POINTS.inc()
+            self._shots_done += point.shots
+            self._shots_target += point.target
+        self.jobs[job_id] = job
+        _OBS_JOBS.inc()
+        if job.done:
+            _OBS_JOBS_DONE.inc()
+        obs.event("service.job_submitted",
+                  f"{job_id}: {len(tasks)} point(s), "
+                  f"{job.cache_hits} cached, {job.coalesced} coalesced, "
+                  f"{job.fresh} fresh", job=job_id)
+        return self._receipt(job)
+
+    def _receipt(self, job: Job) -> Dict[str, object]:
+        return {
+            "job": job.job_id,
+            "points": len(job.tasks),
+            "cache_hits": job.cache_hits,
+            "coalesced": job.coalesced,
+            "fresh": job.fresh,
+            "state": "done" if job.done else "running",
+        }
+
+    # -- status / results ----------------------------------------------
+    def job_status(self, job_id: str,
+                   include_results: bool = True) -> Dict[str, object]:
+        """Live status of one job, with partial per-point progress and
+        — once complete — the full result rows, straight from the
+        content-addressed store."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(job_id)
+        status = self._receipt(job)
+        status["created"] = job.created
+        rows: List[Dict[str, object]] = []
+        shots_done = shots_target = 0
+        results: List[Dict[str, object]] = []
+        for task, key in zip(job.tasks, job.keys):
+            point = self.points.get(key)
+            if point is not None:
+                rows.append(point.row())
+                shots_done += point.shots
+                shots_target += point.target
+                continue
+            shots_target += task.shots
+            result = self.store.result_for(task)
+            if result is not None:
+                shots_done += task.shots
+                row = result.to_row()
+                row["key"] = key
+                if include_results:
+                    results.append(row)
+                rows.append({"key": key, "label": task.label,
+                             "status": "done", "shots": result.shots,
+                             "target": task.shots,
+                             "errors": result.errors,
+                             "ler": result.logical_error_rate})
+            else:
+                # Finalized while this status call iterated?  Cannot
+                # happen single-threaded; a missing record means the
+                # store was swapped out from under the service.
+                rows.append({"key": key, "label": task.label,
+                             "status": "absent"})
+        status["points_done"] = sum(1 for r in rows
+                                    if r.get("status") == "done")
+        status["shots_done"] = shots_done
+        status["shots_target"] = shots_target
+        status["tasks"] = rows
+        if job.done and include_results:
+            status["results"] = results
+        status["telemetry"] = self._job_telemetry()
+        return status
+
+    def _job_telemetry(self) -> Dict[str, object]:
+        """The engine-counter snapshot slice a polling client cares
+        about (per-process; the local pool's thread executor keeps
+        these in the service process)."""
+        snap = obs.registry().snapshot()
+        counters = snap.get("counters", {})
+        keep = {k: v for k, v in counters.items()
+                if k.startswith(("engine.", "service.", "decode."))}
+        return {"counters": keep, "uptime_s": snap.get("uptime_s")}
+
+    def overview(self) -> Dict[str, object]:
+        """Service-level status (``repro status`` with no job)."""
+        return {
+            "jobs": len(self.jobs),
+            "jobs_running": sum(1 for j in self.jobs.values()
+                                if not j.done),
+            "points_inflight": len(self.points),
+            "slices_pending": sum(len(p.pending)
+                                  for p in self.points.values()),
+            "leases_outstanding": len(self._leases),
+            "store": self.store.path,
+            "store_done": len(self.store),
+            "counters": self.service_counters(),
+            "job_ids": sorted(self.jobs,
+                              key=lambda j: int(j.split("-")[1])),
+        }
+
+    def service_counters(self) -> Dict[str, int]:
+        return {
+            "jobs": _OBS_JOBS.value,
+            "jobs_done": _OBS_JOBS_DONE.value,
+            "points": _OBS_POINTS.value,
+            "points_done": _OBS_POINTS_DONE.value,
+            "cache_hits": _OBS_CACHE_HITS.value,
+            "coalesced": _OBS_COALESCED.value,
+            "leases": _OBS_LEASES.value,
+            "slices_completed": _OBS_SLICES.value,
+            "runner_crashes": _OBS_CRASHES.value,
+            "failed_leases": _OBS_FAILED.value,
+        }
+
+    def progress(self) -> Dict[str, int]:
+        """Fresh-work progress in the telemetry snapshot's ``progress``
+        shape, so ``repro report`` renders service files unchanged."""
+        return {
+            "points_done": _OBS_POINTS_DONE.value,
+            "points_total": _OBS_POINTS.value,
+            "shots_done": self._shots_done,
+            "shots_target": self._shots_target,
+        }
+
+    # -- lookup --------------------------------------------------------
+    def lookup(self, spec: Optional[Mapping[str, Any]] = None,
+               key: Optional[str] = None) -> List[Dict[str, object]]:
+        """The cache-hit path as a read-only query: rows for a sweep
+        spec's points (seeded exactly as a submission would be) or for
+        a key prefix.  In-flight points report live partial counts."""
+        rows: List[Dict[str, object]] = []
+        if spec is not None:
+            try:
+                tasks = build_sweep(spec)._seeded()
+            except (KeyError, TypeError, ValueError) as exc:
+                raise DispatchError(f"bad sweep spec: {exc}") from exc
+            for task in tasks:
+                k = task_key(task)
+                point = self.points.get(k)
+                if point is not None:
+                    row = point.row()
+                    row["status"] = "in-flight"
+                    rows.append(row)
+                else:
+                    rows.append(self.store.lookup(task))
+        elif key is not None:
+            for k in self.store.find_keys(str(key)):
+                rows.append(self.store.key_stats(k))
+            for k, point in self.points.items():
+                if k.startswith(str(key)) \
+                        and all(r["key"] != k for r in rows):
+                    row = point.row()
+                    row["status"] = "in-flight"
+                    rows.append(row)
+        else:
+            raise DispatchError("lookup needs a sweep spec or a key "
+                                "prefix")
+        return rows
+
+    # -- lease / complete (runner API) ---------------------------------
+    def lease(self, runner: str = "anonymous", max_leases: int = 1,
+              ttl_s: Optional[float] = None,
+              now: Optional[float] = None) -> List[Lease]:
+        """Hand out up to ``max_leases`` pending slices, oldest point
+        first (so one submission's points finish roughly in order)."""
+        now = time.monotonic() if now is None else now
+        self.expire(now)
+        ttl = self.lease_ttl_s if ttl_s is None else float(ttl_s)
+        out: List[Lease] = []
+        for point in self.points.values():
+            while point.pending and len(out) < max_leases:
+                start, shots = point.pending.popleft()
+                lease = Lease(
+                    lease_id=f"L{next(self._lease_seq)}-{point.key[:8]}",
+                    key=point.key, task=point.task, start=start,
+                    shots=shots, runner=str(runner),
+                    deadline=now + ttl)
+                point.leased[start] = lease.lease_id
+                self._leases[lease.lease_id] = lease
+                _OBS_LEASES.inc()
+                out.append(lease)
+            if len(out) >= max_leases:
+                break
+        return out
+
+    def complete(self, lease_id: str,
+                 chunk_rows: List[Mapping[str, Any]],
+                 runner: Optional[str] = None,
+                 key: Optional[str] = None) -> Dict[str, object]:
+        """Absorb a finished slice's chunk rows into the store.
+
+        Idempotent and late-arrival tolerant: a lease that already
+        expired (its slice requeued, possibly re-run elsewhere) still
+        has its bit-identical chunks accepted — matched by the payload
+        ``key`` — if they cover new ground, and discarded silently
+        otherwise.  Acceptance and the store append happen in one
+        synchronous step — the "atomic absorb" contract: a chunk is
+        either fully banked (frontier + JSONL) or not at all.
+        """
+        lease = self._leases.pop(lease_id, None)
+        point_key = lease.key if lease is not None else key
+        point = self.points.get(point_key) if point_key else None
+        if point is None:
+            # Unknown lease and no in-flight point: a typo, or a very
+            # late completion of an already-finalized point.  Nothing
+            # to absorb into — report staleness, not an error.
+            return {"ok": True, "stale": True, "accepted": 0,
+                    "point_done": point_key is not None
+                    and point_key in self.store.keys()}
+        accepted = 0
+        try:
+            chunks = [ChunkResult.from_row(dict(row))
+                      for row in chunk_rows]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DispatchError(f"malformed chunk row: {exc}") from exc
+        frontier = point.shots
+        for chunk in chunks:
+            if point.record(chunk):
+                self.store.append_chunk(point.key, chunk)
+                accepted += 1
+        self._shots_done += point.shots - frontier
+        _OBS_SLICES.inc()
+        if point.done:
+            self._finalize(point)
+        return {"ok": True, "accepted": accepted,
+                "point_done": point.done}
+
+    def fail(self, lease_id: str, error: str = "") -> Dict[str, object]:
+        """A runner reports it could not execute a slice: requeue it
+        (another runner — or the local pool — picks it up)."""
+        lease = self._leases.pop(lease_id, None)
+        if lease is None:
+            return {"ok": True, "stale": True}
+        _OBS_FAILED.inc()
+        obs.event("service.lease_failed",
+                  f"lease {lease_id} failed on {lease.runner}: {error}",
+                  lease=lease_id, runner=lease.runner)
+        point = self.points.get(lease.key)
+        if point is not None:
+            point.requeue(lease.start, lease.shots)
+        return {"ok": True, "requeued": point is not None}
+
+    def expire(self, now: Optional[float] = None) -> int:
+        """Requeue every lease past its deadline (runner crash path)."""
+        now = time.monotonic() if now is None else now
+        expired = [lease for lease in self._leases.values()
+                   if lease.deadline <= now]
+        for lease in expired:
+            del self._leases[lease.lease_id]
+            _OBS_CRASHES.inc()
+            obs.event("service.lease_expired",
+                      f"lease {lease.lease_id} ({lease.runner}) expired; "
+                      f"slice requeued", lease=lease.lease_id,
+                      runner=lease.runner)
+            point = self.points.get(lease.key)
+            if point is not None:
+                point.requeue(lease.start, lease.shots)
+        return len(expired)
+
+    def has_work(self) -> bool:
+        return any(point.pending for point in self.points.values())
+
+    # -- completion ----------------------------------------------------
+    def _finalize(self, point: PointState) -> None:
+        result = point.result()
+        self.store.mark_done(point.key, result)
+        del self.points[point.key]
+        _OBS_POINTS_DONE.inc()
+        for job_id in point.jobs:
+            job = self.jobs.get(job_id)
+            if job is None:
+                continue
+            job.pending.discard(point.key)
+            if job.done:
+                _OBS_JOBS_DONE.inc()
+                obs.event("service.job_done", f"{job_id} complete",
+                          job=job_id)
+
+
+def execute_lease_wire(lease: Mapping[str, Any]) -> Dict[str, object]:
+    """Execute one wire-form lease (runner side): rebuild the task from
+    its canonical dict, run the slice through the engine's canonical
+    block stream, and return the completion payload."""
+    from ..parallel.worker import execute_lease
+
+    task = task_from_dict(lease["task"])
+    chunk = execute_lease(task, int(lease["start"]), int(lease["shots"]))
+    return {"lease": lease["lease"], "key": lease["key"],
+            "chunks": [chunk.to_row()]}

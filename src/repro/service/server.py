@@ -1,0 +1,359 @@
+"""The asyncio JSON-over-HTTP front end and local runner pool.
+
+Stdlib only: the server speaks a deliberately small HTTP/1.1 subset
+over :mod:`asyncio` streams (one JSON request, one JSON response,
+``Connection: close``) — enough for ``curl``, :class:`~repro.service.
+client.ServiceClient` and pull runners, with zero dependencies.
+
+All dispatcher state lives on the event-loop thread: request handlers
+and the local pump both mutate it via plain synchronous calls from
+coroutines, so no locks are needed and the coalescing / cache-split
+decisions are race-free by construction.  Only slice *execution* —
+the actual simulation — leaves the loop, via an executor:
+
+* ``workers <= 1`` (default): a single-thread executor.  Simulation
+  happens in the service process, so the ``engine.*`` obs counters a
+  client polls are live — this is also what lets the test suite prove
+  a resubmission simulated **zero** new shots.
+* ``workers > 1``: a fork-based process pool, one slice per worker at
+  a time, same topology as ``Campaign.run(workers=N)``.
+
+Either way the counts are bit-identical: slices are canonical-block
+aligned, so the executor choice only changes wall-clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, \
+    ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .. import obs
+from ..injection.store import CampaignStore
+from ..obs.sinks import TelemetryWriter
+from .dispatcher import Dispatcher, DispatchError, UnknownJobError
+
+#: How often the housekeeping task expires stale leases and (when
+#: telemetry is on) writes a snapshot record.
+HOUSEKEEP_S = 1.0
+#: Local pump idle backoff when the queue is empty.
+PUMP_IDLE_S = 0.05
+#: Cap on accepted request bodies (a sweep spec is tiny; chunk-row
+#: completions are bounded by slices, not shots).
+MAX_BODY = 8 * 1024 * 1024
+
+
+def _execute_slice(wire: Dict[str, object]) -> Dict[str, object]:
+    """Executor entry point (thread or forked process)."""
+    from .dispatcher import execute_lease_wire
+
+    return execute_lease_wire(wire)
+
+
+def _worker_init() -> None:
+    """Forked pool children get a clean worker-local registry."""
+    obs.reset()
+
+
+class CampaignService:
+    """One service instance: HTTP listener + dispatcher + local pump.
+
+    ``port=0`` binds an ephemeral port (tests); the bound port is on
+    :attr:`port` after :meth:`start`.  ``workers=0`` disables the local
+    pump entirely — the service becomes a pure dispatch head served
+    only by remote pull runners.
+    """
+
+    def __init__(self, store: Union[CampaignStore, str],
+                 host: str = "127.0.0.1", port: int = 8765,
+                 workers: int = 1,
+                 slice_shots: Optional[int] = None,
+                 lease_ttl_s: Optional[float] = None,
+                 telemetry: Optional[str] = None) -> None:
+        self.store = store if isinstance(store, CampaignStore) \
+            else CampaignStore(store)
+        kwargs: Dict[str, Any] = {"slice_shots": slice_shots}
+        if lease_ttl_s is not None:
+            kwargs["lease_ttl_s"] = lease_ttl_s
+        self.dispatcher = Dispatcher(self.store, **kwargs)
+        self.host = host
+        self.port = port
+        self.workers = int(workers)
+        self.telemetry_path = telemetry
+        self._writer: Optional[TelemetryWriter] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[Executor] = None
+        self._tasks: list = []
+        self._stopping = False
+        self._started = time.perf_counter()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._started = time.perf_counter()
+        if self.telemetry_path:
+            self._writer = TelemetryWriter(self.telemetry_path)
+        if self.workers > 1:
+            import multiprocessing as mp
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=mp.get_context("fork"),
+                initializer=_worker_init)
+        elif self.workers == 1:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-slice")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        for slot in range(max(self.workers, 0)):
+            self._tasks.append(
+                asyncio.ensure_future(self._pump(slot)))
+        self._tasks.append(asyncio.ensure_future(self._housekeeping()))
+        obs.event("service.started",
+                  f"listening on {self.url} "
+                  f"({self.workers} local worker(s))", url=self.url)
+
+    async def stop(self) -> None:
+        self._stopping = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._writer is not None:
+            self._writer.write(self._snapshot_record(final=True))
+            self._writer.close()
+            self._writer = None
+        self.store.close()
+        obs.event("service.stopped", "service shut down")
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    # Background-thread lifecycle (tests, CI smoke assertions from the
+    # same process).
+    def start_background(self, timeout_s: float = 15.0) -> str:
+        """Run the service on a dedicated event-loop thread; returns
+        the base URL once the port is bound."""
+        ready = threading.Event()
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._bg_loop = loop
+            loop.run_until_complete(self.start())
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(target=_run, daemon=True,
+                                        name="repro-service")
+        self._thread.start()
+        if not ready.wait(timeout_s):
+            raise RuntimeError("service failed to start")
+        return self.url
+
+    def stop_background(self, timeout_s: float = 15.0) -> None:
+        loop = getattr(self, "_bg_loop", None)
+        if loop is None:
+            return
+        asyncio.run_coroutine_threadsafe(self.stop(), loop) \
+            .result(timeout_s)
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+            self._thread = None
+
+    # -- local pump ----------------------------------------------------
+    async def _pump(self, slot: int) -> None:
+        """One local worker slot: lease → execute (off-loop) → absorb.
+
+        The executor call is the only non-loop work; lease and complete
+        run on the loop, so the pump and remote runners contend for
+        slices through exactly the same dispatcher API.
+        """
+        loop = asyncio.get_running_loop()
+        runner = f"local-{slot}"
+        while not self._stopping:
+            leases = self.dispatcher.lease(runner=runner, max_leases=1)
+            if not leases:
+                await asyncio.sleep(PUMP_IDLE_S)
+                continue
+            lease = leases[0]
+            wire = lease.to_wire()
+            try:
+                payload = await loop.run_in_executor(
+                    self._executor, _execute_slice, wire)
+            except asyncio.CancelledError:
+                self.dispatcher.fail(lease.lease_id, "pump cancelled")
+                raise
+            except Exception as exc:  # noqa: BLE001 — requeue, keep serving
+                self.dispatcher.fail(lease.lease_id, repr(exc))
+                obs.event("service.local_slice_error", repr(exc),
+                          lease=lease.lease_id)
+                await asyncio.sleep(PUMP_IDLE_S)
+                continue
+            self.dispatcher.complete(payload["lease"],
+                                     payload["chunks"], runner=runner,
+                                     key=payload.get("key"))
+
+    async def _housekeeping(self) -> None:
+        while not self._stopping:
+            await asyncio.sleep(HOUSEKEEP_S)
+            self.dispatcher.expire()
+            if self._writer is not None:
+                self._writer.write(self._snapshot_record())
+
+    def _snapshot_record(self, final: bool = False) -> Dict[str, object]:
+        """A ``repro report``-compatible snapshot: the registry dump
+        plus service progress/counters.  No ``final`` flag until the
+        service actually stops — long-lived service telemetry is the
+        in-progress-report case by design."""
+        rec = dict(obs.registry().snapshot())
+        rec["kind"] = "snapshot"
+        rec["elapsed_s"] = round(time.perf_counter() - self._started, 3)
+        rec["progress"] = self.dispatcher.progress()
+        rec["service"] = self.dispatcher.service_counters()
+        rec["service"]["jobs_total"] = len(self.dispatcher.jobs)
+        if final:
+            rec["final"] = True
+        return rec
+
+    # -- HTTP ----------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        except Exception as exc:  # noqa: BLE001 — surface as HTTP 500
+            status, payload = 500, {"error": repr(exc)}
+        body = json.dumps(payload, sort_keys=True,
+                          default=str).encode() + b"\n"
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed"}.get(status, "Error")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _respond(self, reader: asyncio.StreamReader
+                       ) -> Tuple[int, Dict[str, object]]:
+        request = (await reader.readline()).decode("latin-1").strip()
+        if not request:
+            return 400, {"error": "empty request"}
+        try:
+            method, target, _ = request.split(None, 2)
+        except ValueError:
+            return 400, {"error": f"malformed request line {request!r}"}
+        length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "bad Content-Length"}
+        if length > MAX_BODY:
+            return 400, {"error": "request body too large"}
+        body: Dict[str, Any] = {}
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw)
+            except ValueError as exc:
+                return 400, {"error": f"bad JSON body: {exc}"}
+            if not isinstance(body, dict):
+                return 400, {"error": "JSON body must be an object"}
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            return self._route(method.upper(), path, body)
+        except DispatchError as exc:
+            return 400, {"error": str(exc)}
+        except UnknownJobError as exc:
+            return 404, {"error": f"unknown job {exc.args[0]!r}"}
+
+    def _route(self, method: str, path: str, body: Dict[str, Any]
+               ) -> Tuple[int, Dict[str, object]]:
+        d = self.dispatcher
+        if path == "/health":
+            return 200, {"ok": True, "store": self.store.path,
+                         "workers": self.workers}
+        if path == "/status" and method == "GET":
+            return 200, d.overview()
+        if path.startswith("/jobs/") and method == "GET":
+            return 200, d.job_status(path[len("/jobs/"):])
+        if path == "/submit" and method == "POST":
+            spec = body.get("spec", body)
+            if not isinstance(spec, dict) or not spec:
+                raise DispatchError("submit needs a sweep spec (object "
+                                    "body or {\"spec\": {...}})")
+            return 200, d.submit(spec)
+        if path == "/lookup" and method == "POST":
+            return 200, {"rows": d.lookup(spec=body.get("spec"),
+                                          key=body.get("key"))}
+        if path == "/store" and method == "GET":
+            return 200, self.store.stats()
+        if path == "/lease" and method == "POST":
+            leases = d.lease(runner=str(body.get("runner", "remote")),
+                             max_leases=int(body.get("max", 1)),
+                             ttl_s=body.get("ttl_s"))
+            return 200, {"leases": [lease.to_wire()
+                                    for lease in leases]}
+        if path == "/complete" and method == "POST":
+            if "lease" not in body:
+                raise DispatchError("complete needs a lease id")
+            return 200, d.complete(str(body["lease"]),
+                                   body.get("chunks", ()),
+                                   runner=body.get("runner"),
+                                   key=body.get("key"))
+        if path == "/fail" and method == "POST":
+            if "lease" not in body:
+                raise DispatchError("fail needs a lease id")
+            return 200, d.fail(str(body["lease"]),
+                               str(body.get("error", "")))
+        if path in ("/status", "/submit", "/lookup", "/lease",
+                    "/complete", "/fail", "/store", "/health"):
+            return 405, {"error": f"{method} not allowed on {path}"}
+        return 404, {"error": f"no such endpoint {path}"}

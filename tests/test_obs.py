@@ -326,3 +326,58 @@ class TestCliSmoke:
         report = capsys.readouterr().out
         assert "telemetry report" in report
         assert "512" in report
+
+
+class TestReportPartial:
+    """Long-lived service jobs make in-progress telemetry the norm:
+    a file with no final record must render, flagged as partial."""
+
+    def snapshot(self, final=False, service=None):
+        rec = {"schema": 1, "seq": 1, "time": 5.0, "kind": "snapshot",
+               "elapsed_s": 5.0,
+               "counters": {"engine.shots": 1024},
+               "progress": {"points_done": 1, "points_total": 2,
+                            "shots_done": 1024, "shots_target": 2048}}
+        if final:
+            rec["final"] = True
+        if service is not None:
+            rec["service"] = service
+        return rec
+
+    def write(self, tmp_path, *records):
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        return str(path)
+
+    def test_in_progress_file_renders_flagged_partial(self, tmp_path):
+        text = render_report(self.write(tmp_path, self.snapshot()))
+        assert "PARTIAL" in text
+        assert "run still in flight" in text
+        assert "points   1/2 done" in text
+
+    def test_final_file_not_flagged(self, tmp_path):
+        text = render_report(
+            self.write(tmp_path, self.snapshot(final=True)))
+        assert "PARTIAL" not in text
+        assert "final snapshot" in text
+
+    def test_service_section_renders(self, tmp_path):
+        service = {"jobs": 5, "jobs_done": 4, "points": 3,
+                   "points_done": 2, "cache_hits": 7, "coalesced": 2,
+                   "leases": 6, "slices_completed": 5,
+                   "runner_crashes": 1, "failed_leases": 0}
+        text = render_report(
+            self.write(tmp_path, self.snapshot(service=service)))
+        assert "service" in text
+        assert "jobs        5 submitted, 4 complete" in text
+        assert "cache       7 hit(s), 2 coalesced submission(s)" in text
+        assert "1 runner crash(es)" in text
+
+    def test_latest_snapshot_wins(self, tmp_path):
+        older = self.snapshot()
+        newer = self.snapshot()
+        newer["seq"] = 2
+        newer["progress"] = {"points_done": 2, "points_total": 2,
+                             "shots_done": 2048, "shots_target": 2048}
+        text = render_report(self.write(tmp_path, older, newer))
+        assert "points   2/2 done" in text

@@ -300,3 +300,85 @@ class TestSweepWorkersKey:
                                 "p_values": [0.05]})
         rs = campaign.run(max_workers=1)
         assert rs[0].shots == 1024
+
+
+class TestGracefulInterrupt:
+    def test_interrupt_absorbs_shards_and_resumes_cleanly(
+            self, tmp_path, monkeypatch):
+        """A KeyboardInterrupt mid-campaign requeues leases, absorbs
+        worker shards, and emits an obs event; the resume needs no
+        stale-shard recovery and finishes bit-identical to serial."""
+        import warnings
+
+        from repro import obs
+        from repro.parallel.scheduler import WorkStealingScheduler
+
+        tasks = mid_rate_tasks(n=2, shots=4096, seed=5)
+        serial = Campaign(tasks, root_seed=5).run(max_workers=1)
+        store_path = str(tmp_path / "store.jsonl")
+
+        original = WorkStealingScheduler._on_chunk
+        seen = {"chunks": 0}
+
+        def interrupting(self, *args, **kwargs):
+            seen["chunks"] += 1
+            if seen["chunks"] == 3:
+                raise KeyboardInterrupt
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(WorkStealingScheduler, "_on_chunk",
+                            interrupting)
+        with pytest.warns(RuntimeWarning, match="campaign interrupted"):
+            with pytest.raises(KeyboardInterrupt):
+                Campaign(tasks, root_seed=5).run(
+                    workers=2, resume=store_path)
+        monkeypatch.setattr(WorkStealingScheduler, "_on_chunk",
+                            original)
+        # shards were absorbed, not left for stale-shard recovery
+        assert not glob.glob(store_path + ".shard-*")
+        assert obs.registry().snapshot()["events"] \
+            .get("scheduler.interrupted", 0) >= 1
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resumed = Campaign(tasks, root_seed=5).run(
+                workers=2, resume=store_path)
+        stale = [w for w in caught
+                 if issubclass(w.category, RuntimeWarning)]
+        assert not stale, [str(w.message) for w in stale]
+        assert resumed.counts() == serial.counts()
+
+    @pytest.mark.slow
+    def test_sigterm_unwinds_like_ctrl_c(self, tmp_path):
+        """SIGTERM to a running parallel campaign drains workers and
+        absorbs shards instead of leaving them on disk."""
+        import os
+        import subprocess
+        import sys
+        import time
+
+        store_path = str(tmp_path / "store.jsonl")
+        script = (
+            "import sys\n"
+            "from repro.injection import build_sweep\n"
+            "spec = {'codes': [['xxzz', [5, 5]]],\n"
+            "        'p_values': [0.005, 0.01, 0.02, 0.03],\n"
+            "        'shots': 50000, 'rounds': 3, 'root_seed': 3}\n"
+            "print('READY', flush=True)\n"
+            "try:\n"
+            f"    build_sweep(spec).run(workers=2, resume={store_path!r})\n"
+            "except KeyboardInterrupt:\n"
+            "    sys.exit(130)\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [p for p in sys.path if p] + [env.get("PYTHONPATH", "")])
+        proc = subprocess.Popen([sys.executable, "-c", script],
+                                stdout=subprocess.PIPE,
+                                stderr=subprocess.PIPE, env=env,
+                                text=True)
+        assert proc.stdout.readline().strip() == "READY"
+        time.sleep(3.0)  # let workers lease and bank some chunks
+        proc.send_signal(signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=60)
+        assert proc.returncode == 130, stderr
+        assert "campaign interrupted" in stderr
+        assert not glob.glob(store_path + ".shard-*")

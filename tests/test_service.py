@@ -1,0 +1,306 @@
+"""Tests for the campaign service: content-addressed cache hits,
+request coalescing, slice dispatch, runner-crash requeue, and the
+HTTP front end — all against the engine's bit-identity contract."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.injection import CampaignStore, build_sweep
+from repro.injection.spec import task_from_dict
+from repro.injection.store import canonical_task, task_key
+from repro.service import Dispatcher, DispatchError, UnknownJobError
+from repro.service.dispatcher import execute_lease_wire
+
+SPEC = {
+    "codes": [["repetition", [3, 1]]],
+    "p_values": [0.01, 0.02],
+    "shots": 1024,
+    "rounds": 2,
+    "root_seed": 17,
+}
+
+
+def make_dispatcher(tmp_path, **kwargs):
+    store = CampaignStore(tmp_path / "store.jsonl")
+    kwargs.setdefault("slice_shots", 512)
+    return Dispatcher(store, **kwargs)
+
+
+def drain(dispatcher, runner="test"):
+    """Synchronous local pump: lease, execute, complete, repeat."""
+    while True:
+        leases = dispatcher.lease(runner=runner, max_leases=8)
+        if not leases:
+            break
+        for lease in leases:
+            payload = execute_lease_wire(lease.to_wire())
+            dispatcher.complete(payload["lease"], payload["chunks"],
+                                key=payload["key"])
+
+
+def engine_shots():
+    return obs.counter("engine.shots").value
+
+
+class TestTaskWireFormat:
+    def test_round_trip_preserves_task_key(self):
+        tasks = build_sweep(SPEC)._seeded()
+        for task in tasks:
+            wire = json.loads(json.dumps(canonical_task(task)))
+            rebuilt = task_from_dict(wire)
+            assert task_key(rebuilt) == task_key(task)
+            assert rebuilt == task
+
+    def test_round_trip_weighted_and_faulted(self):
+        spec = dict(SPEC)
+        spec["faults"] = [{"kind": "radiation", "root_qubit": 2,
+                           "time_index": 0}]
+        spec["sampler"] = {"kind": "tilt", "tilt": 4.0}
+        for task in build_sweep(spec)._seeded():
+            wire = json.loads(json.dumps(canonical_task(task)))
+            assert task_key(task_from_dict(wire)) == task_key(task)
+
+
+class TestCacheAndCoalescing:
+    def test_concurrent_identical_submissions_simulate_once(self, tmp_path):
+        d = make_dispatcher(tmp_path)
+        r1 = d.submit(SPEC)
+        r2 = d.submit(SPEC)  # identical, while the first is in flight
+        assert r1["fresh"] == 2 and r1["coalesced"] == 0
+        assert r2["fresh"] == 0 and r2["coalesced"] == 2
+        before = engine_shots()
+        drain(d)
+        # Exactly one simulation of the sweep: 2 points x 1024 shots.
+        assert engine_shots() - before == 2048
+        assert d.job_status(r1["job"])["state"] == "done"
+        assert d.job_status(r2["job"])["state"] == "done"
+        # Both jobs see the same store-backed rows.
+        rows1 = d.job_status(r1["job"])["results"]
+        rows2 = d.job_status(r2["job"])["results"]
+        assert rows1 == rows2
+
+    def test_resubmission_is_all_cache_hits_zero_shots(self, tmp_path):
+        d = make_dispatcher(tmp_path)
+        job = d.submit(SPEC)["job"]
+        drain(d)
+        first = d.job_status(job)["results"]
+        before = engine_shots()
+        receipt = d.submit(SPEC)
+        assert receipt["state"] == "done"
+        assert receipt["cache_hits"] == 2
+        assert receipt["fresh"] == 0 and receipt["coalesced"] == 0
+        assert engine_shots() == before, \
+            "cache-served resubmission must not simulate"
+        assert d.job_status(receipt["job"])["results"] == first
+
+    def test_served_results_bit_identical_to_direct_run(self, tmp_path):
+        d = make_dispatcher(tmp_path)
+        job = d.submit(SPEC)["job"]
+        drain(d)
+        served = d.job_status(job)["results"]
+        direct = build_sweep(SPEC).run(max_workers=1)
+        assert len(served) == len(direct)
+        for row, res in zip(served, direct):
+            assert row["shots"] == res.shots
+            assert row["errors"] == res.errors
+            assert row["raw_ler"] == pytest.approx(res.raw_error_rate)
+
+    def test_partial_point_progress_visible(self, tmp_path):
+        d = make_dispatcher(tmp_path)
+        job = d.submit(SPEC)["job"]
+        leases = d.lease(runner="t", max_leases=1)
+        payload = execute_lease_wire(leases[0].to_wire())
+        d.complete(payload["lease"], payload["chunks"],
+                   key=payload["key"])
+        status = d.job_status(job)
+        assert status["state"] == "running"
+        running = [r for r in status["tasks"]
+                   if r["status"] in ("running", "queued")]
+        assert running and any(r["shots"] == 512 for r in running)
+        # lookup reports the in-flight partial too
+        rows = d.lookup(spec=SPEC)
+        inflight = [r for r in rows if r["status"] == "in-flight"]
+        assert inflight and inflight[0]["target"] == 1024
+        drain(d)
+        assert d.job_status(job)["state"] == "done"
+
+    def test_partial_store_prefix_not_resimulated(self, tmp_path):
+        d = make_dispatcher(tmp_path)
+        d.submit(SPEC)
+        leases = d.lease(runner="t", max_leases=1)
+        payload = execute_lease_wire(leases[0].to_wire())
+        d.complete(payload["lease"], payload["chunks"],
+                   key=payload["key"])
+        # A new dispatcher over the same store banks the 512-shot
+        # prefix and only simulates the remainder.
+        d2 = Dispatcher(d.store, slice_shots=512)
+        d2.submit(SPEC)
+        before = engine_shots()
+        drain(d2)
+        assert engine_shots() - before == 2 * 1024 - 512
+
+
+class TestLeaseLifecycle:
+    def test_expired_lease_requeues_and_completes(self, tmp_path):
+        d = make_dispatcher(tmp_path, lease_ttl_s=30.0)
+        job = d.submit(SPEC)["job"]
+        crashes = obs.counter("service.runner_crashes").value
+        # A runner leases one slice and crashes (never completes).
+        lost = d.lease(runner="crashy", max_leases=1, now=1000.0)
+        assert len(lost) == 1
+        assert d.expire(now=1000.0 + 31.0) == 1
+        assert obs.counter("service.runner_crashes").value == crashes + 1
+        # The slice is back in the queue; a healthy drain finishes.
+        drain(d)
+        status = d.job_status(job)
+        assert status["state"] == "done"
+        direct = build_sweep(SPEC).run(max_workers=1)
+        for row, res in zip(status["results"], direct):
+            assert (row["shots"], row["errors"]) == (res.shots,
+                                                     res.errors)
+
+    def test_late_completion_after_expiry_is_idempotent(self, tmp_path):
+        d = make_dispatcher(tmp_path, lease_ttl_s=30.0)
+        d.submit(SPEC)
+        lost = d.lease(runner="slow", max_leases=1, now=0.0)
+        payload = execute_lease_wire(lost[0].to_wire())
+        d.expire(now=100.0)
+        drain(d)  # someone else re-ran the slice
+        done_shots = d.store.key_stats(lost[0].key)["shots"]
+        # The slow runner finally reports: accepted as a no-op.
+        out = d.complete(payload["lease"], payload["chunks"],
+                         key=payload["key"])
+        assert out["ok"]
+        assert out["accepted"] == 0
+        assert d.store.key_stats(lost[0].key)["shots"] == done_shots
+
+    def test_failed_lease_requeues(self, tmp_path):
+        d = make_dispatcher(tmp_path)
+        d.submit(SPEC)
+        lease = d.lease(runner="t", max_leases=1)[0]
+        pending_after_lease = sum(len(p.pending)
+                                  for p in d.points.values())
+        out = d.fail(lease.lease_id, "simulated failure")
+        assert out["requeued"]
+        assert sum(len(p.pending) for p in d.points.values()) \
+            == pending_after_lease + 1
+        drain(d)
+        assert not d.points
+
+    def test_wire_lease_carries_canonical_task(self, tmp_path):
+        d = make_dispatcher(tmp_path)
+        d.submit(SPEC)
+        wire = d.lease(runner="t", max_leases=1)[0].to_wire()
+        wire = json.loads(json.dumps(wire))  # HTTP round trip
+        assert task_key(task_from_dict(wire["task"])) == wire["key"]
+        assert wire["shots"] == 512
+
+
+class TestDispatcherErrors:
+    def test_bad_spec_raises_dispatch_error(self, tmp_path):
+        d = make_dispatcher(tmp_path)
+        with pytest.raises(DispatchError):
+            d.submit({"codes": [["repetition", [3, 1]]], "pvals": [1]})
+
+    def test_unknown_job(self, tmp_path):
+        d = make_dispatcher(tmp_path)
+        with pytest.raises(UnknownJobError):
+            d.job_status("job-404")
+
+    def test_unknown_lease_completion_is_stale_not_error(self, tmp_path):
+        d = make_dispatcher(tmp_path)
+        out = d.complete("L999-deadbeef", [])
+        assert out["ok"] and out["stale"]
+
+    def test_lookup_needs_spec_or_key(self, tmp_path):
+        d = make_dispatcher(tmp_path)
+        with pytest.raises(DispatchError):
+            d.lookup()
+
+
+@pytest.mark.integration
+class TestHTTPService:
+    """End-to-end over a real asyncio HTTP server (ephemeral port)."""
+
+    @pytest.fixture()
+    def service(self, tmp_path):
+        from repro.service import CampaignService
+
+        svc = CampaignService(str(tmp_path / "store.jsonl"), port=0,
+                              workers=1, slice_shots=512,
+                              telemetry=str(tmp_path / "svc.jsonl"))
+        svc.start_background()
+        yield svc
+        svc.stop_background()
+
+    def test_submit_poll_resubmit_cache_hit(self, service):
+        from repro.service import ServiceClient
+
+        client = ServiceClient(service.url)
+        assert client.health()["ok"]
+        receipt = client.submit(SPEC)
+        assert receipt["fresh"] == 2
+        status = client.wait(receipt["job"], timeout_s=120)
+        assert status["state"] == "done"
+        assert status["shots_done"] == 2048
+        first = status["results"]
+
+        before = engine_shots()
+        again = client.submit(SPEC)
+        assert again["state"] == "done"
+        assert again["cache_hits"] == 2 and again["fresh"] == 0
+        assert engine_shots() == before
+        assert client.status(again["job"])["results"] == first
+
+        # bit-identity across the HTTP boundary
+        direct = build_sweep(SPEC).run(max_workers=1)
+        for row, res in zip(first, direct):
+            assert (row["shots"], row["errors"]) == (res.shots,
+                                                     res.errors)
+
+        # lookup + overview endpoints
+        rows = client.lookup(spec=SPEC)
+        assert all(r["status"] == "done" for r in rows)
+        overview = client.status()
+        assert overview["store_done"] == 2
+        assert client.store_stats()["done"] == 2
+
+    def test_http_error_statuses(self, service):
+        from repro.service import ServiceClient, ServiceError
+
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError) as err:
+            client.status("job-404")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client.submit({"codes": []})
+        assert err.value.status == 400
+
+
+@pytest.mark.integration
+class TestRemoteRunnerTopology:
+    def test_pull_runner_completes_dispatch_only_service(self, tmp_path):
+        """workers=0 head + a pull runner == the paper's two-host
+        topology; counts must match a direct run exactly."""
+        from repro.service import CampaignService, ServiceClient
+        from repro.service.runner import run_runner
+
+        svc = CampaignService(str(tmp_path / "store.jsonl"), port=0,
+                              workers=0, slice_shots=512)
+        svc.start_background()
+        try:
+            client = ServiceClient(svc.url)
+            receipt = client.submit(SPEC)
+            assert receipt["fresh"] == 2
+            done = run_runner(svc.url, runner_id="test-runner",
+                              poll_s=0.05, idle_timeout_s=2.0)
+            assert done == 4  # 2 points x 2 slices
+            status = client.wait(receipt["job"], timeout_s=30)
+            direct = build_sweep(SPEC).run(max_workers=1)
+            for row, res in zip(status["results"], direct):
+                assert (row["shots"], row["errors"]) == (res.shots,
+                                                         res.errors)
+        finally:
+            svc.stop_background()
