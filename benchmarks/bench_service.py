@@ -1,0 +1,111 @@
+"""Service tracing overhead benchmark: trace contexts on vs off.
+
+The dispatch head derives every lease's span context up front and the
+executing side wraps each slice in two trace spans (lease + chunk)
+whose phase children come from registry *deltas* — no per-shot work.
+The contract is the same as the telemetry layer's: < 2% overhead on
+the d=5 frames hot path, and bit-identical counts (trace ids are
+sha1 of the work's coordinates; nothing touches RNG).
+
+This bench drains the same d=5 campaign the decode benchmark uses
+(p=5e-4, MWPM, 8 canonical blocks) through a real
+:class:`~repro.service.Dispatcher` — submit, lease, execute, complete,
+spans over the wire payload — with :mod:`repro.obs.trace` enabled and
+disabled, interleaved min-of-``REPEATS`` per setting.  Every run gets
+a fresh store so the content-addressed cache can never short-circuit
+the comparison.  ``REPRO_BENCH_LAX`` relaxes the bar for contended CI
+runners.
+"""
+
+import time
+
+from conftest import bench_bar, bench_report
+
+from repro.injection import CampaignStore
+from repro.obs import trace
+from repro.service import Dispatcher
+from repro.service.dispatcher import execute_lease_wire
+
+#: 8 canonical blocks, same workload as bench_decode_batch / bench_obs.
+SHOTS = 4096
+
+SPEC = {
+    "codes": [["xxzz", [5, 5]]],
+    "p_values": [5e-4],
+    "shots": SHOTS,
+    "rounds": 5,
+    "decoder": "mwpm",
+    "backend": "frames",
+    "root_seed": 2024,
+}
+
+#: Interleaved repeats per setting; min-of filters scheduler noise.
+REPEATS = 5
+
+
+def _drain_once(tmp_path, tag):
+    """Submit SPEC to a fresh head and pump it dry synchronously,
+    exactly like the server's local pool does (spans ride the
+    completion payload).  Returns (wall seconds, results rows)."""
+    store = CampaignStore(tmp_path / f"store-{tag}.jsonl")
+    dispatcher = Dispatcher(store, slice_shots=512)
+    t0 = time.perf_counter()
+    receipt = dispatcher.submit(SPEC)
+    while True:
+        leases = dispatcher.lease(runner="bench", max_leases=8)
+        if not leases:
+            break
+        for lease in leases:
+            payload = execute_lease_wire(lease.to_wire())
+            dispatcher.complete(payload["lease"], payload["chunks"],
+                                runner="bench", key=payload["key"],
+                                spans=payload.get("spans"))
+    dt = time.perf_counter() - t0
+    rows = dispatcher.job_status(receipt["job"])["results"]
+    return dt, rows
+
+
+def test_trace_overhead(benchmark, capsys, tmp_path):
+    """Dispatcher drain with tracing on must stay within 2% of off."""
+    _drain_once(tmp_path, "warm")  # warm the task context (lowering)
+
+    off, on = [], []
+    rows_off = rows_on = None
+    try:
+        for i in range(REPEATS):
+            trace.set_enabled(False)
+            dt, rows_off = _drain_once(tmp_path, f"off-{i}")
+            off.append(dt)
+            trace.set_enabled(True)
+            dt, rows_on = _drain_once(tmp_path, f"on-{i}")
+            on.append(dt)
+            # Trace ids are derived, never drawn: counts must match.
+            for a, b in zip(rows_off, rows_on):
+                assert (a["shots"], a["errors"]) == \
+                    (b["shots"], b["errors"])
+                assert a["shots"] == SHOTS
+
+        benchmark.pedantic(
+            lambda: _drain_once(tmp_path, f"bench-{time.monotonic_ns()}"),
+            rounds=1, iterations=1)
+    finally:
+        trace.set_enabled(True)
+        trace.reset()
+
+    off_s, on_s = min(off), min(on)
+    overhead = on_s / off_s - 1.0
+    bench_report(
+        benchmark, capsys,
+        f"\n[service] {SHOTS} shots d=5 p=5e-4 via dispatcher: "
+        f"trace off {off_s:.3f}s ({SHOTS / off_s:,.0f} sh/s), "
+        f"on {on_s:.3f}s ({SHOTS / on_s:,.0f} sh/s), "
+        f"overhead {overhead:+.2%}",
+        shots=SHOTS,
+        off_shots_per_s=SHOTS / off_s,
+        on_shots_per_s=SHOTS / on_s,
+        overhead_frac=overhead)
+
+    bar = bench_bar(0.02, 0.15)
+    assert overhead < bar, \
+        f"trace overhead {overhead:.2%} >= {bar:.0%} on the d=5 " \
+        f"frames dispatch path"

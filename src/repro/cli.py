@@ -410,6 +410,26 @@ def _service_client(args):
     return ServiceClient(args.url, timeout_s=args.timeout)
 
 
+def _follow_job(client, job: str, timeout_s: float):
+    """Stream one job to completion with a live progress line on a
+    TTY (plain polling + silent progress otherwise)."""
+    from .obs.sinks import ProgressRenderer, job_progress_line
+
+    renderer = ProgressRenderer() if ProgressRenderer.wants_tty() \
+        else None
+
+    def on_progress(status):
+        if renderer is not None:
+            renderer.render(job_progress_line(status))
+
+    try:
+        return client.wait(job, timeout_s=timeout_s,
+                           on_progress=on_progress)
+    finally:
+        if renderer is not None:
+            renderer.clear()
+
+
 def cmd_submit(args) -> None:
     from .service.client import ServiceError
 
@@ -431,8 +451,11 @@ def cmd_submit(args) -> None:
                 return
             status = client.status(receipt["job"])
         else:
-            status = client.wait(receipt["job"],
-                                 timeout_s=args.wait_timeout)
+            # Streaming by default: the server holds the response
+            # open and pushes progress; falls back to polling against
+            # an old head.
+            status = _follow_job(client, receipt["job"],
+                                 args.wait_timeout)
     except ServiceError as exc:
         sys.exit(f"error: {exc}")
     rows = status.get("results", [])
@@ -440,10 +463,81 @@ def cmd_submit(args) -> None:
         _write(rows, args, f"Service results — {receipt['job']}",)
 
 
+def _watch_status(args, client) -> None:
+    """``repro status --watch``: live-refresh on a TTY via the PR 7
+    single-line renderer; one plain line per refresh otherwise."""
+    import time as _time
+
+    from .obs.sinks import ProgressRenderer, job_progress_line
+    from .service.client import ServiceError
+
+    renderer = ProgressRenderer() if ProgressRenderer.wants_tty() \
+        else None
+
+    def show(line: str) -> None:
+        if renderer is not None:
+            renderer.render(line)
+        else:
+            print(line, flush=True)
+
+    try:
+        if args.job is not None:
+            # Jobs finish: follow the streaming endpoint to the final
+            # record, then print the result table.
+            for status in client.stream(args.job,
+                                        interval_s=args.interval):
+                if "error" in status:
+                    sys.exit(f"error: {status['error']}")
+                show(job_progress_line(status))
+                if status.get("final") \
+                        or status.get("state") == "done":
+                    if renderer is not None:
+                        renderer.clear()
+                    _print_job_status(status)
+                    return
+            if renderer is not None:
+                renderer.clear()
+            return
+        while True:  # service overview: watch until interrupted
+            overview = client.status()
+            counters = overview.get("counters", {})
+            show(f"jobs {overview.get('jobs_running', 0)} running / "
+                 f"{overview.get('jobs', 0)} total, "
+                 f"{overview.get('points_inflight', 0)} point(s) in "
+                 f"flight, {overview.get('slices_pending', 0)} "
+                 f"slice(s) queued, {overview.get('leases_outstanding', 0)} "
+                 f"lease(s) out, {counters.get('slices_completed', 0)} "
+                 f"slice(s) done")
+            _time.sleep(args.interval)
+    except ServiceError as exc:
+        if renderer is not None:
+            renderer.clear()
+        sys.exit(f"error: {exc}")
+    except KeyboardInterrupt:
+        if renderer is not None:
+            renderer.clear()
+
+
+def _print_job_status(status) -> None:
+    print(f"{status['job']}: {status['state']} — "
+          f"{status['points_done']}/{status['points']} point(s), "
+          f"{status['shots_done']}/{status['shots_target']} shots "
+          f"({status['cache_hits']} cached, {status['coalesced']} "
+          f"coalesced, {status['fresh']} fresh)")
+    tasks = status.get("tasks", [])
+    if tasks:
+        print()
+        print(ascii_table(tasks, columns=[
+            "label", "status", "shots", "target", "errors", "ler"]))
+
+
 def cmd_status(args) -> None:
     from .service.client import ServiceError
 
     client = _service_client(args)
+    if args.watch:
+        _watch_status(args, client)
+        return
     try:
         status = client.status(args.job)
     except ServiceError as exc:
@@ -462,16 +556,7 @@ def cmd_status(args) -> None:
         line = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
         print(f"{'service counters':>20}: {line}")
         return
-    print(f"{status['job']}: {status['state']} — "
-          f"{status['points_done']}/{status['points']} point(s), "
-          f"{status['shots_done']}/{status['shots_target']} shots "
-          f"({status['cache_hits']} cached, {status['coalesced']} "
-          f"coalesced, {status['fresh']} fresh)")
-    tasks = status.get("tasks", [])
-    if tasks:
-        print()
-        print(ascii_table(tasks, columns=[
-            "label", "status", "shots", "target", "errors", "ler"]))
+    _print_job_status(status)
 
 
 def cmd_store(args) -> None:
@@ -551,10 +636,24 @@ def cmd_store(args) -> None:
         print(f"\n{hits}/{len(rows)} point(s) fully cached")
 
 
+def cmd_fleet(args) -> None:
+    from .service.fleet import fleet_overview, render_fleet
+
+    overview = fleet_overview(args.urls, timeout_s=args.timeout)
+    if args.json:
+        print(json.dumps(overview, indent=2, sort_keys=True,
+                         default=str))
+    else:
+        print(render_fleet(overview, top_spans=args.top_spans))
+    if not overview["aggregate"]["heads_up"]:
+        sys.exit(1)
+
+
 def cmd_report(args) -> None:
     from .obs.report import render_report
 
-    print(render_report(args.file))
+    files = args.file
+    print(render_report(files[0] if len(files) == 1 else files))
 
 
 #: Figure subcommands that execute injection campaigns (and therefore
@@ -577,6 +676,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "submit": cmd_submit,
     "status": cmd_status,
+    "fleet": cmd_fleet,
 }
 
 
@@ -867,11 +967,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-request HTTP timeout, seconds")
     status.add_argument("--json", action="store_true",
                         help="emit the raw JSON response")
+    status.add_argument("--watch", action="store_true",
+                        help="live-refresh: stream a job's progress "
+                             "(or poll the overview) until done / "
+                             "interrupted")
+    status.add_argument("--interval", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="--watch refresh interval (default 0.5)")
+    fleet = subs.add_parser(
+        "fleet", help="poll several dispatch heads' /status and "
+                      "/metrics and render one merged fleet report")
+    fleet.add_argument("urls", type=str, nargs="+", metavar="URL",
+                       help="dispatch head base URLs")
+    fleet.add_argument("--timeout", type=float, default=10.0,
+                       help="per-head HTTP timeout, seconds")
+    fleet.add_argument("--top-spans", type=int, default=8,
+                       help="rows in the slowest-span breakdown")
+    fleet.add_argument("--json", action="store_true",
+                       help="emit the merged overview as JSON")
     report = subs.add_parser(
-        "report", help="render a run summary from a telemetry JSONL "
-                       "file written via --telemetry")
-    report.add_argument("file", type=str,
-                        help="telemetry JSONL file to summarise")
+        "report", help="render a run summary from telemetry JSONL "
+                       "files written via --telemetry (several files "
+                       "merge into one offline-fleet summary)")
+    report.add_argument("file", type=str, nargs="+",
+                        help="telemetry JSONL file(s) to summarise")
     return parser
 
 

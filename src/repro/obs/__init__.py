@@ -16,10 +16,15 @@ engine's bit-identity contract is property-tested with telemetry on):
   schema-versioned JSONL telemetry exporter (``--telemetry PATH``).
   The engine reaches it through :func:`active` (one ``None`` check
   when no session is installed).
-* :mod:`repro.obs.report` — ``repro report FILE``: render a phase /
-  cache / scheduler / sampler summary from an exported telemetry file.
+* :mod:`repro.obs.report` — ``repro report FILE...``: render a phase /
+  cache / scheduler / sampler summary from one or several exported
+  telemetry files (several → a merged offline-fleet view).
+* :mod:`repro.obs.trace` — distributed trace contexts for the campaign
+  service: deterministic span ids propagated over the lease wire so
+  remote phase spans land in one causally-linked trace per job.
 """
 
+from . import trace
 from .metrics import (
     SCHEMA_VERSION,
     Counter,
@@ -32,6 +37,7 @@ from .metrics import (
     gauge,
     merge_snapshots,
     registry,
+    render_prometheus,
     span,
 )
 from .sinks import (
@@ -40,16 +46,19 @@ from .sinks import (
     TelemetryWriter,
     active,
     install,
+    job_progress_line,
     session,
 )
 from .report import last_snapshot, load_telemetry, render_report
 
 
 def reset() -> None:
-    """Zero the global registry in place and drop any ambient monitor
-    (worker-process entry: metrics become worker-local, and a monitor
-    inherited across ``fork`` must never export from a child)."""
+    """Zero the global registry in place, drop any buffered trace
+    spans, and drop any ambient monitor (worker-process entry: metrics
+    become worker-local, and a monitor inherited across ``fork`` must
+    never export from a child)."""
     registry().reset()
+    trace.reset()
     install(None)
 
 
@@ -67,11 +76,14 @@ __all__ = [
     "registry",
     "reset",
     "merge_snapshots",
+    "render_prometheus",
+    "trace",
     "CampaignMonitor",
     "ProgressRenderer",
     "TelemetryWriter",
     "active",
     "install",
+    "job_progress_line",
     "session",
     "load_telemetry",
     "last_snapshot",

@@ -166,6 +166,12 @@ class MetricsRegistry:
     def span_stats(self, name: str) -> Optional[SpanStats]:
         return self._spans.get(name)
 
+    def span_totals(self) -> Dict[str, Tuple[float, int]]:
+        """``{name: (total_s, count)}`` for every phase span — the
+        cheap before/after delta hook the tracer uses to attribute
+        engine phase time to a lease without touching the hot path."""
+        return {k: (s.total_s, s.count) for k, s in self._spans.items()}
+
     # -- events --------------------------------------------------------
     def event(self, kind: str, message: str = "", **fields: object) -> None:
         """Record one structured event (warn+skip paths, crashes, ...).
@@ -238,16 +244,23 @@ def merge_snapshots(base: Dict[str, object],
                     ) -> Dict[str, object]:
     """Sum worker snapshots into a campaign-wide view.
 
-    Counters, span totals/counts and event totals add; gauges are
-    last-write-wins with ``base`` taking precedence (worker gauges fill
-    gaps only — per-worker gauge detail belongs in the per-worker
-    section of the telemetry record, not the merged namespace).
+    Counters, span totals/counts, event totals and histogram buckets
+    add (histograms with mismatched bounds keep the base's buckets and
+    fold the other's total/sum only — bounds are fixed per metric name
+    in practice); gauges are last-write-wins with ``base`` taking
+    precedence (worker gauges fill gaps only — per-worker gauge detail
+    belongs in the per-worker section of the telemetry record, not the
+    merged namespace).
     """
     counters = dict(base.get("counters", {}))
     gauges = dict(base.get("gauges", {}))
     spans: Dict[str, Dict[str, float]] = {
         k: dict(v) for k, v in base.get("spans", {}).items()}
     events = dict(base.get("events", {}))
+    histograms: Dict[str, Dict[str, object]] = {
+        k: {"bounds": list(v["bounds"]), "counts": list(v["counts"]),
+            "total": v["total"], "sum": v["sum"]}
+        for k, v in base.get("histograms", {}).items()}
     for snap in others:
         if not snap:
             continue
@@ -261,12 +274,146 @@ def merge_snapshots(base: Dict[str, object],
             st["count"] += v["count"]
         for k, v in snap.get("events", {}).items():
             events[k] = events.get(k, 0) + v
+        for k, v in snap.get("histograms", {}).items():
+            h = histograms.get(k)
+            if h is None:
+                histograms[k] = {"bounds": list(v["bounds"]),
+                                 "counts": list(v["counts"]),
+                                 "total": v["total"], "sum": v["sum"]}
+                continue
+            if list(h["bounds"]) == list(v["bounds"]):
+                h["counts"] = [a + b for a, b in zip(h["counts"],
+                                                     v["counts"])]
+            h["total"] += v["total"]
+            h["sum"] = round(h["sum"] + v["sum"], 9)
     merged = dict(base)
     merged["counters"] = counters
     merged["gauges"] = gauges
     merged["spans"] = spans
     merged["events"] = events
+    if histograms:
+        merged["histograms"] = histograms
     return merged
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted registry name into a Prometheus metric name."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch in "_:" else "_")
+    base = "".join(out)
+    if not base.startswith("repro_"):
+        base = "repro_" + base
+    return base
+
+
+def _prom_labels(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"") \
+                .replace("\n", r"\n")
+
+
+def _split_labels(name: str) -> Tuple[str, Dict[str, str]]:
+    """Split the ``base/k=v/k2=v2`` label-encoding convention used by
+    per-runner metrics (the registry itself is label-free; labels are
+    folded into the name so plain dict merging keeps working)."""
+    parts = name.split("/")
+    labels: Dict[str, str] = {}
+    base = [parts[0]]
+    for part in parts[1:]:
+        if "=" in part:
+            k, v = part.split("=", 1)
+            labels[k] = v
+        else:
+            base.append(part)
+    return "/".join(base), labels
+
+
+def _prom_sample(base: str, labels: Dict[str, str], value: object) -> str:
+    if labels:
+        inner = ",".join(f'{_prom_name(k)[len("repro_"):]}='
+                         f'"{_prom_labels(str(v))}"'
+                         for k, v in sorted(labels.items()))
+        return f"{base}{{{inner}}} {value}"
+    return f"{base} {value}"
+
+
+def render_prometheus(snapshot: Dict[str, object]) -> str:
+    """Render a (possibly merged) snapshot in the Prometheus text
+    exposition format (version 0.0.4).
+
+    Dotted names become underscored with a ``repro_`` prefix; counters
+    gain ``_total``; the ``base/k=v`` label convention becomes real
+    labels; phase spans render as paired ``_seconds_total`` /
+    ``_runs_total`` counters; histograms render cumulative ``_bucket``
+    series with ``le`` labels plus ``_sum``/``_count``.
+    """
+    lines: List[str] = []
+
+    def family(name: str, kind: str, help_text: str,
+               samples: List[str]) -> None:
+        if not samples:
+            return
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+
+    family("repro_uptime_seconds", "gauge",
+           "Seconds since the registry started.",
+           [f"repro_uptime_seconds {snapshot.get('uptime_s', 0.0)}"])
+
+    groups: Dict[str, List[str]] = {}
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        base, labels = _split_labels(name)
+        prom = _prom_name(base) + "_total"
+        groups.setdefault(prom, []).append(_prom_sample(prom, labels, value))
+    for prom, samples in groups.items():
+        family(prom, "counter", f"Registry counter {prom}.", samples)
+
+    groups = {}
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        base, labels = _split_labels(name)
+        prom = _prom_name(base)
+        groups.setdefault(prom, []).append(_prom_sample(prom, labels, value))
+    for prom, samples in groups.items():
+        family(prom, "gauge", f"Registry gauge {prom}.", samples)
+
+    span_seconds: List[str] = []
+    span_runs: List[str] = []
+    for name, st in sorted(snapshot.get("spans", {}).items()):
+        labels = {"phase": name}
+        span_seconds.append(_prom_sample("repro_phase_seconds_total",
+                                         labels, st["total_s"]))
+        span_runs.append(_prom_sample("repro_phase_runs_total",
+                                      labels, st["count"]))
+    family("repro_phase_seconds_total", "counter",
+           "Cumulative wall-clock per instrumented phase.", span_seconds)
+    family("repro_phase_runs_total", "counter",
+           "Completions per instrumented phase.", span_runs)
+
+    event_samples = [
+        _prom_sample("repro_events_total", {"kind": kind}, count)
+        for kind, count in sorted(snapshot.get("events", {}).items())]
+    family("repro_events_total", "counter",
+           "Structured obs events by kind.", event_samples)
+
+    hist_groups: Dict[str, List[str]] = {}
+    for name, row in sorted(snapshot.get("histograms", {}).items()):
+        base, labels = _split_labels(name)
+        prom = _prom_name(base)
+        samples = hist_groups.setdefault(prom, [])
+        cum = 0
+        for bound, count in zip(row["bounds"], row["counts"]):
+            cum += count
+            samples.append(_prom_sample(
+                prom + "_bucket", {**labels, "le": repr(float(bound))}, cum))
+        samples.append(_prom_sample(
+            prom + "_bucket", {**labels, "le": "+Inf"}, row["total"]))
+        samples.append(_prom_sample(prom + "_sum", labels, row["sum"]))
+        samples.append(_prom_sample(prom + "_count", labels, row["total"]))
+    for prom, samples in hist_groups.items():
+        family(prom, "histogram", f"Registry histogram {prom}.", samples)
+
+    return "\n".join(lines) + "\n"
 
 
 class Stopwatch:

@@ -1,17 +1,24 @@
-"""Render a run summary from a telemetry JSONL file (``repro report``).
+"""Render a run summary from telemetry JSONL files (``repro report``).
 
 Works entirely from the exported records: the last ``snapshot`` record
 is cumulative, so the report never needs the full stream — but it reads
 all records anyway to report the snapshot cadence and tolerate torn
 final lines (the exporter may have died mid-write).
+
+Several files render as one merged offline-fleet summary: counters,
+spans, events and histograms sum via :func:`~repro.obs.metrics.
+merge_snapshots` (each file's last snapshot is cumulative for its
+process, exactly like a worker snapshot), progress and service
+counters add, and elapsed time takes the longest file — concurrent
+heads overlap in wall-clock.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
-from .metrics import SCHEMA_VERSION
+from .metrics import SCHEMA_VERSION, merge_snapshots
 
 
 def load_telemetry(path: str) -> List[Dict[str, object]]:
@@ -47,24 +54,89 @@ def _section(title: str) -> List[str]:
     return ["", title, "-" * len(title)]
 
 
-def render_report(path: str) -> str:
-    """The human-readable run summary for one telemetry file."""
-    records = load_telemetry(path)
-    if not records:
-        return f"{path}: no telemetry records"
-    snap = last_snapshot(records)
-    if snap is None:
-        return f"{path}: no snapshot records (run died before the first " \
-               f"export interval?)"
-    schema = snap.get("schema")
-    lines = [f"telemetry report — {path}",
-             f"schema {schema}"
-             + ("" if schema == SCHEMA_VERSION
-                else f" (reader expects {SCHEMA_VERSION})")
-             + f", {len(records)} records"
-             + (", final snapshot" if snap.get("final") else
-                " — PARTIAL: run still in flight (no final snapshot; "
-                "latest snapshot shown)")]
+def _sum_dicts(base: Dict[str, object],
+               other: Dict[str, object]) -> Dict[str, object]:
+    out = dict(base)
+    for k, v in other.items():
+        if isinstance(v, (int, float)) \
+                and isinstance(out.get(k, 0), (int, float)):
+            out[k] = out.get(k, 0) + v
+        else:
+            out.setdefault(k, v)
+    return out
+
+
+def _merge_file_snapshots(snaps: List[Dict[str, object]]
+                          ) -> Dict[str, object]:
+    """Fold several files' last snapshots into one fleet view."""
+    merged = merge_snapshots(snaps[0], snaps[1:])
+    progress: Dict[str, object] = {}
+    service: Dict[str, object] = {}
+    workers: Dict[str, object] = {}
+    runners: Dict[str, object] = {}
+    for snap in snaps:
+        progress = _sum_dicts(progress, snap.get("progress", {}))
+        service = _sum_dicts(service, snap.get("service", {}))
+        # Worker / runner ids collide across files; prefix by index.
+        idx = snaps.index(snap)
+        for wid, w in snap.get("workers", {}).items():
+            workers[f"{idx}:{wid}"] = w
+        for rid, r in snap.get("runners", {}).items():
+            runners[f"{idx}:{rid}"] = r
+    merged["elapsed_s"] = max(
+        float(s.get("elapsed_s") or s.get("uptime_s") or 0.0)
+        for s in snaps)
+    if progress:
+        merged["progress"] = progress
+    if service:
+        merged["service"] = service
+    if workers:
+        merged["workers"] = workers
+    if runners:
+        merged["runners"] = runners
+    merged["final"] = all(s.get("final") for s in snaps)
+    return merged
+
+
+def render_report(path: Union[str, Sequence[str]]) -> str:
+    """The human-readable run summary for one telemetry file, or the
+    merged offline-fleet summary for several."""
+    paths = [path] if isinstance(path, str) else list(path)
+    loaded = []
+    for p in paths:
+        records = load_telemetry(p)
+        loaded.append((p, records, last_snapshot(records)))
+    if len(paths) == 1:
+        p, records, snap = loaded[0]
+        if not records:
+            return f"{p}: no telemetry records"
+        if snap is None:
+            return f"{p}: no snapshot records (run died before the " \
+                   f"first export interval?)"
+        schema = snap.get("schema")
+        lines = [f"telemetry report — {p}",
+                 f"schema {schema}"
+                 + ("" if schema == SCHEMA_VERSION
+                    else f" (reader expects {SCHEMA_VERSION})")
+                 + f", {len(records)} records"
+                 + (", final snapshot" if snap.get("final") else
+                    " — PARTIAL: run still in flight (no final "
+                    "snapshot; latest snapshot shown)")]
+    else:
+        usable = [(p, records, snap) for p, records, snap in loaded
+                  if snap is not None]
+        if not usable:
+            return "no snapshot records in any of: " + ", ".join(paths)
+        snap = _merge_file_snapshots([s for _, _, s in usable])
+        lines = [f"telemetry report — fleet of {len(usable)} file(s)"]
+        for p, records, s in usable:
+            lines.append(f"  {p}: {len(records)} records"
+                         + ("" if s.get("final") else " (PARTIAL)"))
+        skipped = [p for p, _, s in loaded if s is None]
+        for p in skipped:
+            lines.append(f"  {p}: skipped (no snapshot records)")
+        if not snap.get("final"):
+            lines.append("PARTIAL: at least one run still in flight")
     progress = snap.get("progress", {})
     counters = snap.get("counters", {})
     spans = snap.get("spans", {})
@@ -127,6 +199,17 @@ def render_report(path: str) -> str:
         if crashes or failed:
             lines.append(f"failures    {crashes} runner crash(es), "
                          f"{failed} failed lease(s) — slices requeued")
+
+    runners = snap.get("runners", {})
+    if runners:
+        lines += _section("runners")
+        width = max(len(str(r)) for r in runners)
+        for rid, h in sorted(runners.items()):
+            note = "  ** LOST **" if h.get("lost") else ""
+            lines.append(f"{rid:<{width}}  {h.get('leases', 0)} leased, "
+                         f"{h.get('completed', 0)} done, "
+                         f"{h.get('failed', 0)} failed, "
+                         f"{h.get('expired', 0)} expired{note}")
 
     leases = counters.get("scheduler.leases", 0)
     if leases or snap.get("workers"):

@@ -333,6 +333,21 @@ class CampaignMonitor:
 _ACTIVE: Optional[CampaignMonitor] = None
 
 
+def job_progress_line(status: Dict[str, object]) -> str:
+    """One-line summary of a service job-status snapshot — shared by
+    ``repro submit --wait`` and ``repro status --watch`` (rendered via
+    :class:`ProgressRenderer` on a TTY, printed plainly otherwise)."""
+    shots = int(status.get("shots_done") or 0)
+    target = int(status.get("shots_target") or 0)
+    pct = f"{shots / target:.0%}" if target else "-"
+    counters = (status.get("telemetry") or {}).get("counters", {})
+    sampled = counters.get("engine.shots")
+    tail = f" [{sampled:,} sampled]" if sampled else ""
+    return (f"{status.get('job', '?')} {status.get('state', '?')}: "
+            f"{status.get('points_done', 0)}/{status.get('points', 0)} "
+            f"point(s), {shots:,}/{target:,} shots ({pct}){tail}")
+
+
 def active() -> Optional[CampaignMonitor]:
     """The ambient monitor — the engine's single cheap lookup."""
     return _ACTIVE

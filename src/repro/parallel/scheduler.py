@@ -82,6 +82,12 @@ _OBS_CRASHES = obs.counter("scheduler.worker_crashes")
 _OBS_REQUEUED = obs.counter("scheduler.requeued_leases")
 _OBS_WORKERS = obs.counter("scheduler.workers_started")
 _OBS_QUEUE = obs.gauge("scheduler.pending_leases")
+#: Lease wall-clock distribution (drives the lease-sizing EWMA; the
+#: histogram makes its spread visible in /metrics and reports).
+_OBS_LEASE_RUN = obs.registry().histogram(
+    "scheduler.lease_run_s",
+    (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+     60.0, 120.0))
 
 
 def lease_run_size(pending: int, alive: int, chunk_shots: int,
@@ -318,6 +324,7 @@ class WorkStealingScheduler:
         plan = self._plans[task_index]
         self._inflight.get(wid, {}).pop((task_index, chunk.start), None)
         if chunk.shots and chunk.elapsed_s > 0.0:
+            _OBS_LEASE_RUN.observe(chunk.elapsed_s)
             rate = chunk.elapsed_s / chunk.shots
             prev = self._sec_per_shot.get(task_index)
             self._sec_per_shot[task_index] = rate if prev is None else \

@@ -20,15 +20,22 @@ as the system of record and simulates **only on cache miss**:
   chunk rows for absorption (``repro serve --runner URL``).
 * :mod:`repro.service.client` — the stdlib HTTP client behind
   ``repro submit`` / ``repro status`` (and the runner).
+* :mod:`repro.service.fleet` — ``repro fleet URL...``: poll several
+  heads' ``/status`` + ``/metrics`` and fold them into one report.
 
 Every dispatch topology — in-process pool, remote runners, or a plain
 ``repro campaign`` against the same store — produces bit-identical
 counts: slices are canonical-block aligned, so a chunk's counts are a
 pure function of ``(task, start, shots)`` no matter who ran it.
+Observability rides the same wire: leases carry deterministic span
+contexts (:mod:`repro.obs.trace`), completions carry span summaries
+and runner registry snapshots, and ``GET /metrics`` serves the merged
+view in Prometheus text or JSON.
 """
 
 from .dispatcher import Dispatcher, DispatchError, UnknownJobError
 from .client import ServiceClient, ServiceError
+from .fleet import fleet_overview, fleet_report, render_fleet
 from .server import CampaignService
 
 __all__ = [
@@ -38,4 +45,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "UnknownJobError",
+    "fleet_overview",
+    "fleet_report",
+    "render_fleet",
 ]

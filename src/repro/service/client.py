@@ -12,7 +12,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 
 class ServiceError(RuntimeError):
@@ -72,14 +72,76 @@ class ServiceClient:
             return self._request("GET", "/status")
         return self._request("GET", f"/jobs/{job}")
 
+    def stream(self, job: str, interval_s: float = 0.5,
+               timeout_s: float = 300.0
+               ) -> Iterator[Dict[str, object]]:
+        """``GET /jobs/<id>?stream=1``: yield newline-delimited JSON
+        progress snapshots until the server closes the stream (final
+        record carries ``"final": true`` plus results).
+
+        The per-read socket timeout doubles as a stall detector —
+        a healthy stream emits every ``interval_s``.
+        """
+        url = (f"{self.base_url}/jobs/{job}?stream=1"
+               f"&interval={interval_s:g}")
+        req = urllib.request.Request(
+            url, headers={"Accept": "application/x-ndjson"})
+        try:
+            with urllib.request.urlopen(
+                    req, timeout=max(self.timeout_s,
+                                     interval_s * 4)) as resp:
+                deadline = time.monotonic() + timeout_s
+                for line in resp:
+                    if time.monotonic() >= deadline:
+                        raise ServiceError(
+                            f"job {job} still streaming after "
+                            f"{timeout_s:g}s")
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except ValueError as exc:
+                        raise ServiceError(
+                            f"bad stream record: {exc}") from exc
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(f"HTTP {exc.code} from stream",
+                               status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"service unreachable at {self.base_url}: "
+                f"{exc.reason}") from exc
+
     def wait(self, job: str, timeout_s: float = 300.0,
-             poll_s: float = 0.2) -> Dict[str, object]:
-        """Poll one job to completion; returns its final status."""
+             poll_s: float = 0.2, stream: bool = True,
+             on_progress=None) -> Dict[str, object]:
+        """Follow one job to completion; returns its final status.
+
+        Prefers the held-open streaming endpoint (no polling); if the
+        stream ends without a final record — an old server that
+        ignores ``?stream=1`` answers once and closes — falls back to
+        the polling loop.  ``on_progress`` (if given) receives every
+        intermediate status snapshot.
+        """
+        if stream:
+            for status in self.stream(job, interval_s=poll_s,
+                                      timeout_s=timeout_s):
+                if "error" in status:
+                    raise ServiceError(str(status["error"]))
+                if status.get("final") \
+                        or status.get("state") == "done":
+                    return status
+                if on_progress is not None:
+                    on_progress(status)
+            # Stream closed with no final record (an old server
+            # answered the path once and hung up): poll instead.
         deadline = time.monotonic() + timeout_s
         while True:
             status = self.status(job)
             if status.get("state") == "done":
                 return status
+            if on_progress is not None:
+                on_progress(status)
             if time.monotonic() >= deadline:
                 raise ServiceError(
                     f"job {job} still running after {timeout_s:g}s "
@@ -100,6 +162,28 @@ class ServiceClient:
     def store_stats(self) -> Dict[str, object]:
         return self._request("GET", "/store")
 
+    def metrics(self) -> Dict[str, object]:
+        """The merged registry snapshot (JSON rendering of /metrics)."""
+        return self._request("GET", "/metrics?format=json")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text rendering of /metrics."""
+        req = urllib.request.Request(
+            self.base_url + "/metrics?format=text",
+            headers={"Accept": "text/plain"})
+        try:
+            with urllib.request.urlopen(req,
+                                        timeout=self.timeout_s) as resp:
+                return resp.read().decode()
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"service unreachable at {self.base_url}: "
+                f"{getattr(exc, 'reason', exc)}") from exc
+
+    def trace(self, job: str) -> Dict[str, object]:
+        """The causally-linked span tree for one job."""
+        return self._request("GET", f"/jobs/{job}/trace")
+
     # -- runner surface ------------------------------------------------
     def lease(self, runner: str = "remote", max_leases: int = 1,
               ttl_s: Optional[float] = None
@@ -112,13 +196,20 @@ class ServiceClient:
 
     def complete(self, lease: str, chunks: List[Mapping[str, Any]],
                  runner: Optional[str] = None,
-                 key: Optional[str] = None) -> Dict[str, object]:
+                 key: Optional[str] = None,
+                 spans: Optional[List[Mapping[str, Any]]] = None,
+                 obs_snapshot: Optional[Mapping[str, Any]] = None
+                 ) -> Dict[str, object]:
         body: Dict[str, Any] = {"lease": lease,
                                 "chunks": [dict(c) for c in chunks]}
         if runner is not None:
             body["runner"] = runner
         if key is not None:
             body["key"] = key
+        if spans:
+            body["spans"] = [dict(s) for s in spans]
+        if obs_snapshot:
+            body["obs"] = dict(obs_snapshot)
         return self._request("POST", "/complete", body)
 
     def fail(self, lease: str, error: str = "",

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
 
 from .. import obs
+from ..obs import trace
 from ..injection.campaign import DEFAULT_CHUNK_SHOTS, _assemble, \
     _normalize_chunk
 from ..injection.results import ChunkResult, InjectionResult, \
@@ -63,6 +64,20 @@ _OBS_JOBS_DONE = obs.counter("service.jobs_done")
 _OBS_CRASHES = obs.counter("service.runner_crashes")
 _OBS_FAILED = obs.counter("service.failed_leases")
 
+#: Bucket edges (seconds) for the per-runner lease histograms: the
+#: short end resolves thread-pool slices, the long end TTL requeues.
+LEASE_BOUNDS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+                10.0, 30.0, 60.0, 120.0)
+
+
+def _lease_hist(kind: str, runner: str):
+    """The per-runner lease histogram ``service.lease_<kind>_s`` with
+    the runner id folded into the name (``/runner=<id>``) — the
+    registry stays label-free and the Prometheus renderer splits the
+    convention back into a real label."""
+    return obs.registry().histogram(
+        f"service.lease_{kind}_s/runner={runner}", LEASE_BOUNDS)
+
 
 class DispatchError(ValueError):
     """A malformed request (bad spec, unknown lease) — client error."""
@@ -83,18 +98,27 @@ class Lease:
     shots: int
     runner: str
     deadline: float
+    #: Span context shipped on the wire (``None`` = tracing off).
+    trace: Optional[trace.TraceContext] = None
+    #: When the lease was handed out / when its slice was queued
+    #: (monotonic) — the run-time and queue-time histogram inputs.
+    t_leased: float = 0.0
+    t_queued: float = 0.0
 
     def to_wire(self) -> Dict[str, object]:
         """The JSON form shipped to pull runners: the canonical task
         dict (key-stable under :func:`~repro.injection.spec.
-        task_from_dict`) plus the slice coordinates."""
-        return {
+        task_from_dict`) plus the slice coordinates and span context."""
+        wire: Dict[str, object] = {
             "lease": self.lease_id,
             "key": self.key,
             "task": canonical_task(self.task),
             "start": self.start,
             "shots": self.shots,
         }
+        if self.trace is not None:
+            wire["trace"] = self.trace.to_wire()
+        return wire
 
 
 class PointState:
@@ -110,9 +134,17 @@ class PointState:
     """
 
     def __init__(self, key: str, task: InjectionTask, prior: Tuple,
-                 slice_shots: int) -> None:
+                 slice_shots: int,
+                 ctx: Optional[trace.TraceContext] = None) -> None:
         self.key = key
         self.task = task
+        #: The creating job's point span context — leases derive from
+        #: it, so span ids are stable across dispatch topologies.
+        self.ctx = ctx
+        self.created = time.time()
+        #: Per-slice enqueue time (monotonic), refreshed on requeue —
+        #: feeds the queue-time histogram at lease handout.
+        self.queued_at: Dict[int, float] = {}
         (self.shots, self.errors, self.raw_errors, self.corrections,
          self.elapsed_s, self.chunks, weights) = normalize_prior(prior)
         self.weighted = task.sampler.weighted
@@ -122,6 +154,9 @@ class PointState:
         self.pending: Deque[Tuple[int, int]] = deque(
             (lease.start, lease.shots) for lease in plan_leases(
                 0, self.shots, self.target, slice_shots, None, task.shots))
+        now = time.monotonic()
+        for start, _ in self.pending:
+            self.queued_at[start] = now
         #: Completed-but-not-yet-contiguous chunks, keyed by start.
         self._completed: Dict[int, ChunkResult] = {}
         #: Starts currently leased out (requeue bookkeeping).
@@ -163,6 +198,7 @@ class PointState:
         self.leased.pop(start, None)
         if start >= self.shots and start not in self._completed:
             self.pending.appendleft((start, shots))
+            self.queued_at[start] = time.monotonic()
 
     def result(self) -> InjectionResult:
         return _assemble(self.task, self.shots, self.errors,
@@ -200,11 +236,24 @@ class Job:
         self.tasks = tasks
         self.keys = keys
         self.created = time.time()
+        #: Root span context (``None`` with tracing disabled).  The
+        #: trace id is a pure function of (job id, point keys), so the
+        #: same submission order yields the same trace on every head
+        #: and every dispatch topology.
+        self.ctx: Optional[trace.TraceContext] = None
+        if trace.is_enabled():
+            trace_id = trace.derive_id(job_id, *keys)
+            self.ctx = trace.TraceContext(
+                trace_id, trace.derive_id(trace_id, "job"))
         self.cache_hits = 0
         self.coalesced = 0
         self.fresh = 0
         #: Keys whose computation this job still waits on.
         self.pending: set = set()
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.ctx.trace_id if self.ctx is not None else None
 
     @property
     def done(self) -> bool:
@@ -239,6 +288,16 @@ class Dispatcher:
         #: they are not work).
         self._shots_done = 0
         self._shots_target = 0
+        #: Completed spans by trace id (idempotent absorb by span id).
+        self.traces = trace.TraceStore()
+        #: Runner health: ``id → {last_seen, leases, completed,
+        #: failed, expired, lost}``; ``lost`` flips on a TTL expiry
+        #: with no other lease outstanding and clears on next contact.
+        self.runners: Dict[str, Dict[str, object]] = {}
+        #: Latest cumulative registry snapshot per remote runner /
+        #: pool worker, merged by replacement (each is cumulative for
+        #: its process, so replacement is idempotent like counters).
+        self._runner_snaps: Dict[str, Dict[str, object]] = {}
 
     # -- submission ----------------------------------------------------
     def submit(self, spec: Mapping[str, Any]) -> Dict[str, object]:
@@ -257,6 +316,8 @@ class Dispatcher:
         keys = [task_key(t) for t in tasks]
         job = Job(job_id, tasks, keys)
         for task, key in zip(tasks, keys):
+            point_ctx = job.ctx.child("point", key) \
+                if job.ctx is not None else None
             if key in self.points:
                 job.coalesced += 1
                 _OBS_COALESCED.inc()
@@ -267,10 +328,14 @@ class Dispatcher:
             if banked is not None and banked.shots >= task.shots:
                 job.cache_hits += 1
                 _OBS_CACHE_HITS.inc()
+                if point_ctx is not None:
+                    self.traces.absorb([trace.make_span(
+                        point_ctx, "point", 0.0, key=key,
+                        cache_hit=True)])
                 continue
             job.fresh += 1
             point = PointState(key, task, self.store.partial(key),
-                               self.slice_shots)
+                               self.slice_shots, ctx=point_ctx)
             point.jobs.add(job_id)
             self.points[key] = point
             job.pending.add(key)
@@ -281,6 +346,7 @@ class Dispatcher:
         _OBS_JOBS.inc()
         if job.done:
             _OBS_JOBS_DONE.inc()
+            self._record_job_span(job)
         obs.event("service.job_submitted",
                   f"{job_id}: {len(tasks)} point(s), "
                   f"{job.cache_hits} cached, {job.coalesced} coalesced, "
@@ -288,7 +354,7 @@ class Dispatcher:
         return self._receipt(job)
 
     def _receipt(self, job: Job) -> Dict[str, object]:
-        return {
+        receipt: Dict[str, object] = {
             "job": job.job_id,
             "points": len(job.tasks),
             "cache_hits": job.cache_hits,
@@ -296,6 +362,15 @@ class Dispatcher:
             "fresh": job.fresh,
             "state": "done" if job.done else "running",
         }
+        if job.trace_id is not None:
+            receipt["trace"] = job.trace_id
+        return receipt
+
+    def _record_job_span(self, job: Job) -> None:
+        if job.ctx is not None:
+            self.traces.absorb([trace.make_span(
+                job.ctx, "job", time.time() - job.created,
+                t0=job.created, job=job.job_id, points=len(job.tasks))])
 
     # -- status / results ----------------------------------------------
     def job_status(self, job_id: str,
@@ -372,6 +447,9 @@ class Dispatcher:
             "counters": self.service_counters(),
             "job_ids": sorted(self.jobs,
                               key=lambda j: int(j.split("-")[1])),
+            "runners": {rid: dict(h)
+                        for rid, h in sorted(self.runners.items())},
+            "progress": self.progress(),
         }
 
     def service_counters(self) -> Dict[str, int]:
@@ -442,6 +520,7 @@ class Dispatcher:
         now = time.monotonic() if now is None else now
         self.expire(now)
         ttl = self.lease_ttl_s if ttl_s is None else float(ttl_s)
+        health = self._touch_runner(str(runner))
         out: List[Lease] = []
         for point in self.points.values():
             while point.pending and len(out) < max_leases:
@@ -450,19 +529,44 @@ class Dispatcher:
                     lease_id=f"L{next(self._lease_seq)}-{point.key[:8]}",
                     key=point.key, task=point.task, start=start,
                     shots=shots, runner=str(runner),
-                    deadline=now + ttl)
+                    deadline=now + ttl,
+                    trace=point.ctx.child("lease", start)
+                    if point.ctx is not None else None,
+                    t_leased=now,
+                    t_queued=point.queued_at.pop(start, now))
                 point.leased[start] = lease.lease_id
                 self._leases[lease.lease_id] = lease
                 _OBS_LEASES.inc()
+                health["leases"] = int(health["leases"]) + 1
+                _lease_hist("queue", lease.runner).observe(
+                    max(0.0, now - lease.t_queued))
                 out.append(lease)
             if len(out) >= max_leases:
                 break
         return out
 
+    def _touch_runner(self, runner: str) -> Dict[str, object]:
+        """Record contact from a runner (lease / complete / fail); a
+        runner marked lost by TTL expiry comes back alive here."""
+        health = self.runners.get(runner)
+        if health is None:
+            health = self.runners[runner] = {
+                "leases": 0, "completed": 0, "failed": 0,
+                "expired": 0, "lost": False}
+        elif health["lost"]:
+            health["lost"] = False
+            obs.event("service.runner_recovered",
+                      f"runner {runner} is back", runner=runner)
+        health["last_seen"] = time.time()
+        return health
+
     def complete(self, lease_id: str,
                  chunk_rows: List[Mapping[str, Any]],
                  runner: Optional[str] = None,
-                 key: Optional[str] = None) -> Dict[str, object]:
+                 key: Optional[str] = None,
+                 spans: Optional[List[Mapping[str, Any]]] = None,
+                 obs_snapshot: Optional[Mapping[str, Any]] = None
+                 ) -> Dict[str, object]:
         """Absorb a finished slice's chunk rows into the store.
 
         Idempotent and late-arrival tolerant: a lease that already
@@ -472,8 +576,28 @@ class Dispatcher:
         otherwise.  Acceptance and the store append happen in one
         synchronous step — the "atomic absorb" contract: a chunk is
         either fully banked (frontier + JSONL) or not at all.
+
+        ``spans`` (completed span summaries from the executing
+        process) merge idempotently by span id — a requeued re-run
+        derives the same ids, so duplicates collapse.
+        ``obs_snapshot`` (a remote runner's cumulative registry
+        snapshot) replaces that runner's previous one.
         """
+        if spans:
+            self.traces.absorb(spans)
         lease = self._leases.pop(lease_id, None)
+        runner_id = lease.runner if lease is not None else runner
+        if runner_id:
+            health = self._touch_runner(str(runner_id))
+            health["completed"] = int(health["completed"]) + 1
+            if obs_snapshot:
+                self._runner_snaps[str(runner_id)] = dict(obs_snapshot)
+        if lease is not None:
+            now = time.monotonic()
+            _lease_hist("run", lease.runner).observe(
+                max(0.0, now - lease.t_leased))
+            _lease_hist("latency", lease.runner).observe(
+                max(0.0, now - lease.t_queued))
         point_key = lease.key if lease is not None else key
         point = self.points.get(point_key) if point_key else None
         if point is None:
@@ -507,6 +631,8 @@ class Dispatcher:
         lease = self._leases.pop(lease_id, None)
         if lease is None:
             return {"ok": True, "stale": True}
+        health = self._touch_runner(lease.runner)
+        health["failed"] = int(health["failed"]) + 1
         _OBS_FAILED.inc()
         obs.event("service.lease_failed",
                   f"lease {lease_id} failed on {lease.runner}: {error}",
@@ -531,6 +657,20 @@ class Dispatcher:
             point = self.points.get(lease.key)
             if point is not None:
                 point.requeue(lease.start, lease.shots)
+            health = self.runners.get(lease.runner)
+            if health is not None:
+                health["expired"] = int(health["expired"]) + 1
+                # Every lease gone and the last contact was the
+                # expiry: presume the runner itself crashed (once per
+                # transition — churn shows in `repro report`).
+                outstanding = any(l.runner == lease.runner
+                                  for l in self._leases.values())
+                if not outstanding and not health["lost"]:
+                    health["lost"] = True
+                    obs.event("service.runner_lost",
+                              f"runner {lease.runner} presumed lost "
+                              f"(lease {lease.lease_id} expired with "
+                              f"none outstanding)", runner=lease.runner)
         return len(expired)
 
     def has_work(self) -> bool:
@@ -542,24 +682,79 @@ class Dispatcher:
         self.store.mark_done(point.key, result)
         del self.points[point.key]
         _OBS_POINTS_DONE.inc()
+        point_dur = time.time() - point.created
         for job_id in point.jobs:
             job = self.jobs.get(job_id)
             if job is None:
                 continue
+            if job.ctx is not None:
+                # Each subscriber's trace gets its own point span
+                # (coalesced jobs included); the lease/phase children
+                # hang off the creating job's span.
+                ctx = job.ctx.child("point", point.key)
+                self.traces.absorb([trace.make_span(
+                    ctx, "point", point_dur, t0=point.created,
+                    key=point.key, shots=point.shots,
+                    coalesced=ctx != point.ctx)])
             job.pending.discard(point.key)
             if job.done:
                 _OBS_JOBS_DONE.inc()
                 obs.event("service.job_done", f"{job_id} complete",
                           job=job_id)
+                self._record_job_span(job)
+
+    # -- observability ------------------------------------------------
+    def job_trace(self, job_id: str) -> Dict[str, object]:
+        """The causally-linked span tree for one job (parents before
+        children; spans from remote runners included once their
+        completions have been absorbed)."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(job_id)
+        if job.trace_id is None:
+            return {"job": job_id, "trace": None, "spans": []}
+        return {"job": job_id, "trace": job.trace_id,
+                "spans": self.traces.spans(job.trace_id)}
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The head's registry merged with every remote runner's /
+        pool worker's latest cumulative snapshot — the `/metrics`
+        scrape body (JSON form; the Prometheus rendering is
+        :func:`repro.obs.metrics.render_prometheus` of this)."""
+        return obs.merge_snapshots(obs.registry().snapshot(),
+                                   list(self._runner_snaps.values()))
 
 
-def execute_lease_wire(lease: Mapping[str, Any]) -> Dict[str, object]:
+def execute_lease_wire(lease: Mapping[str, Any],
+                       ship_obs: bool = False) -> Dict[str, object]:
     """Execute one wire-form lease (runner side): rebuild the task from
     its canonical dict, run the slice through the engine's canonical
-    block stream, and return the completion payload."""
+    block stream, and return the completion payload.
+
+    If the lease carries a span context it is rehydrated here and the
+    lease span (with engine phase deltas as children and the chunk as
+    a grandchild) is recorded and drained into the payload — tracing
+    never touches the engine itself, so counts stay bit-identical.
+
+    ``ship_obs=True`` attaches this process's cumulative registry
+    snapshot (remote runners and forked pool workers only — the
+    in-process thread pool shares the head's registry and must *not*
+    re-ship it, or every counter would double).
+    """
     from ..parallel.worker import execute_lease
 
     task = task_from_dict(lease["task"])
-    chunk = execute_lease(task, int(lease["start"]), int(lease["shots"]))
-    return {"lease": lease["lease"], "key": lease["key"],
-            "chunks": [chunk.to_row()]}
+    start, shots = int(lease["start"]), int(lease["shots"])
+    ctx = trace.from_wire(lease.get("trace"))
+    with trace.span(ctx, "lease", here=True, phases=True,
+                    key=str(lease["key"])[:16], start=start) as lctx:
+        with trace.span(lctx, "chunk", start, shots=shots):
+            chunk = execute_lease(task, start, shots)
+    payload: Dict[str, object] = {
+        "lease": lease["lease"], "key": lease["key"],
+        "chunks": [chunk.to_row()]}
+    if ctx is not None:
+        payload["spans"] = trace.drain()
+    if ship_obs:
+        payload["obs"] = obs.registry().snapshot()
+    return payload

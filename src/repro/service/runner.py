@@ -70,7 +70,11 @@ def run_runner(url: str, runner_id: Optional[str] = None,
         idle_since = None
         for wire in leases:
             try:
-                payload = execute_lease_wire(wire)
+                # ship_obs: the runner is its own process, so its
+                # cumulative registry snapshot rides every completion
+                # and the head merges it (by replacement) into the
+                # fleet-wide `/metrics` view.
+                payload = execute_lease_wire(wire, ship_obs=True)
             except Exception as exc:  # noqa: BLE001 — report, keep pulling
                 _OBS_ERRORS.inc()
                 obs.event("runner.slice_error", repr(exc),
@@ -82,7 +86,9 @@ def run_runner(url: str, runner_id: Optional[str] = None,
                     pass
                 continue
             client.complete(str(payload["lease"]), payload["chunks"],
-                            runner=runner, key=payload.get("key"))
+                            runner=runner, key=payload.get("key"),
+                            spans=payload.get("spans"),
+                            obs_snapshot=payload.get("obs"))
             done += 1
             _OBS_SLICES.inc()
             _OBS_SHOTS.inc(int(wire["shots"]))

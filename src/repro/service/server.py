@@ -45,18 +45,32 @@ PUMP_IDLE_S = 0.05
 #: Cap on accepted request bodies (a sweep spec is tiny; chunk-row
 #: completions are bounded by slices, not shots).
 MAX_BODY = 8 * 1024 * 1024
+#: Default emit interval for streaming job-progress responses.
+STREAM_INTERVAL_S = 0.5
+
+#: True in forked pool children only (set by the pool initializer):
+#: they carry their own registry, so their slices must ship snapshots
+#: back; the in-process thread pool shares the head's registry and
+#: must not (every counter would double on merge).
+_FORKED = False
 
 
 def _execute_slice(wire: Dict[str, object]) -> Dict[str, object]:
     """Executor entry point (thread or forked process)."""
     from .dispatcher import execute_lease_wire
 
-    return execute_lease_wire(wire)
+    return execute_lease_wire(wire, ship_obs=_FORKED)
 
 
 def _worker_init() -> None:
     """Forked pool children get a clean worker-local registry."""
+    global _FORKED
+    _FORKED = True
     obs.reset()
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP request (line, headers, or body)."""
 
 
 class CampaignService:
@@ -225,7 +239,9 @@ class CampaignService:
                 continue
             self.dispatcher.complete(payload["lease"],
                                      payload["chunks"], runner=runner,
-                                     key=payload.get("key"))
+                                     key=payload.get("key"),
+                                     spans=payload.get("spans"),
+                                     obs_snapshot=payload.get("obs"))
 
     async def _housekeeping(self) -> None:
         while not self._stopping:
@@ -239,12 +255,15 @@ class CampaignService:
         plus service progress/counters.  No ``final`` flag until the
         service actually stops — long-lived service telemetry is the
         in-progress-report case by design."""
-        rec = dict(obs.registry().snapshot())
+        rec = dict(self.dispatcher.metrics_snapshot())
         rec["kind"] = "snapshot"
         rec["elapsed_s"] = round(time.perf_counter() - self._started, 3)
         rec["progress"] = self.dispatcher.progress()
         rec["service"] = self.dispatcher.service_counters()
         rec["service"]["jobs_total"] = len(self.dispatcher.jobs)
+        if self.dispatcher.runners:
+            rec["runners"] = {rid: dict(h) for rid, h
+                              in self.dispatcher.runners.items()}
         if final:
             rec["final"] = True
         return rec
@@ -253,18 +272,101 @@ class CampaignService:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         try:
-            status, payload = await self._respond(reader)
+            method, path, query, accept, body = \
+                await self._read_request(reader)
+        except _BadRequest as exc:
+            await self._write_json(writer, 400, {"error": str(exc)})
+            return
         except (asyncio.IncompleteReadError, ConnectionError):
             writer.close()
             return
         except Exception as exc:  # noqa: BLE001 — surface as HTTP 500
+            await self._write_json(writer, 500, {"error": repr(exc)})
+            return
+        try:
+            if method == "GET" and path.startswith("/jobs/") \
+                    and query.get("stream") in ("1", "true", "yes"):
+                await self._stream_job(writer, path[len("/jobs/"):],
+                                       query)
+                return
+            if method == "GET" and path == "/metrics":
+                snap = self.dispatcher.metrics_snapshot()
+                fmt = query.get("format") or (
+                    "json" if "application/json" in accept else "text")
+                if fmt == "json":
+                    await self._write_json(writer, 200, snap)
+                else:
+                    await self._write_text(
+                        writer, 200, obs.render_prometheus(snap))
+                return
+            status, payload = self._route(method, path, body)
+        except DispatchError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except UnknownJobError as exc:
+            status, payload = 404, {"error": f"unknown job "
+                                    f"{exc.args[0]!r}"}
+        except Exception as exc:  # noqa: BLE001 — surface as HTTP 500
             status, payload = 500, {"error": repr(exc)}
-        body = json.dumps(payload, sort_keys=True,
-                          default=str).encode() + b"\n"
+        await self._write_json(writer, status, payload)
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Tuple[str, str, Dict[str, str], str,
+                                       Dict[str, Any]]:
+        """Parse one request into (method, path, query, accept, body).
+
+        Raises :class:`_BadRequest` on anything malformed; connection
+        errors propagate to the caller.
+        """
+        request = (await reader.readline()).decode("latin-1").strip()
+        if not request:
+            raise _BadRequest("empty request")
+        try:
+            method, target, _ = request.split(None, 2)
+        except ValueError:
+            raise _BadRequest(f"malformed request line {request!r}") \
+                from None
+        length = 0
+        accept = ""
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            lname = name.strip().lower()
+            if lname == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise _BadRequest("bad Content-Length") from None
+            elif lname == "accept":
+                accept = value.strip().lower()
+        if length > MAX_BODY:
+            raise _BadRequest("request body too large")
+        body: Dict[str, Any] = {}
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw)
+            except ValueError as exc:
+                raise _BadRequest(f"bad JSON body: {exc}") from None
+            if not isinstance(body, dict):
+                raise _BadRequest("JSON body must be an object")
+        raw_path, _, raw_query = target.partition("?")
+        query: Dict[str, str] = {}
+        for part in raw_query.split("&"):
+            if part:
+                k, _, v = part.partition("=")
+                query[k] = v
+        path = raw_path.rstrip("/") or "/"
+        return method.upper(), path, query, accept, body
+
+    @staticmethod
+    async def _write_response(writer: asyncio.StreamWriter, status: int,
+                              body: bytes, content_type: str) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed"}.get(status, "Error")
         head = (f"HTTP/1.1 {status} {reason}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n").encode()
         try:
@@ -275,44 +377,69 @@ class CampaignService:
         finally:
             writer.close()
 
-    async def _respond(self, reader: asyncio.StreamReader
-                       ) -> Tuple[int, Dict[str, object]]:
-        request = (await reader.readline()).decode("latin-1").strip()
-        if not request:
-            return 400, {"error": "empty request"}
+    async def _write_json(self, writer: asyncio.StreamWriter,
+                          status: int, payload: Dict[str, object]
+                          ) -> None:
+        body = json.dumps(payload, sort_keys=True,
+                          default=str).encode() + b"\n"
+        await self._write_response(writer, status, body,
+                                   "application/json")
+
+    async def _write_text(self, writer: asyncio.StreamWriter,
+                          status: int, text: str) -> None:
+        # The Prometheus text exposition content type.
+        await self._write_response(
+            writer, status, text.encode(),
+            "text/plain; version=0.0.4; charset=utf-8")
+
+    async def _stream_job(self, writer: asyncio.StreamWriter,
+                          job_id: str, query: Dict[str, str]) -> None:
+        """``GET /jobs/<id>?stream=1``: hold the response open and emit
+        newline-delimited JSON progress snapshots until the job
+        finishes (final record carries results and ``"final": true``).
+
+        ``await drain()`` after every record is the backpressure
+        contract — a client that stops reading stalls its own stream
+        without buffering unboundedly on the head; a client that
+        disconnects ends it silently (the job itself is unaffected).
+        """
         try:
-            method, target, _ = request.split(None, 2)
+            interval = max(0.05, float(query.get("interval",
+                                                 STREAM_INTERVAL_S)))
         except ValueError:
-            return 400, {"error": f"malformed request line {request!r}"}
-        length = 0
-        while True:
-            line = (await reader.readline()).decode("latin-1").strip()
-            if not line:
-                break
-            name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    length = int(value.strip())
-                except ValueError:
-                    return 400, {"error": "bad Content-Length"}
-        if length > MAX_BODY:
-            return 400, {"error": "request body too large"}
-        body: Dict[str, Any] = {}
-        if length:
-            raw = await reader.readexactly(length)
-            try:
-                body = json.loads(raw)
-            except ValueError as exc:
-                return 400, {"error": f"bad JSON body: {exc}"}
-            if not isinstance(body, dict):
-                return 400, {"error": "JSON body must be an object"}
-        path = target.split("?", 1)[0].rstrip("/") or "/"
+            interval = STREAM_INTERVAL_S
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n\r\n").encode()
         try:
-            return self._route(method.upper(), path, body)
-        except DispatchError as exc:
-            return 400, {"error": str(exc)}
-        except UnknownJobError as exc:
-            return 404, {"error": f"unknown job {exc.args[0]!r}"}
+            writer.write(head)
+            await writer.drain()
+            while True:
+                try:
+                    status = self.dispatcher.job_status(
+                        job_id, include_results=False)
+                except UnknownJobError:
+                    status = {"error": f"unknown job {job_id!r}",
+                              "final": True}
+                done = status.get("state") == "done" \
+                    or status.get("final")
+                if done and "error" not in status:
+                    status = self.dispatcher.job_status(job_id)
+                    status["final"] = True
+                writer.write(json.dumps(status, sort_keys=True,
+                                        default=str).encode() + b"\n")
+                await writer.drain()
+                if done or self._stopping:
+                    return
+                await asyncio.sleep(interval)
+        except (ConnectionError, asyncio.CancelledError):
+            return
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 — already torn down
+                pass
 
     def _route(self, method: str, path: str, body: Dict[str, Any]
                ) -> Tuple[int, Dict[str, object]]:
@@ -323,7 +450,10 @@ class CampaignService:
         if path == "/status" and method == "GET":
             return 200, d.overview()
         if path.startswith("/jobs/") and method == "GET":
-            return 200, d.job_status(path[len("/jobs/"):])
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/trace"):
+                return 200, d.job_trace(rest[:-len("/trace")])
+            return 200, d.job_status(rest)
         if path == "/submit" and method == "POST":
             spec = body.get("spec", body)
             if not isinstance(spec, dict) or not spec:
@@ -347,13 +477,16 @@ class CampaignService:
             return 200, d.complete(str(body["lease"]),
                                    body.get("chunks", ()),
                                    runner=body.get("runner"),
-                                   key=body.get("key"))
+                                   key=body.get("key"),
+                                   spans=body.get("spans"),
+                                   obs_snapshot=body.get("obs"))
         if path == "/fail" and method == "POST":
             if "lease" not in body:
                 raise DispatchError("fail needs a lease id")
             return 200, d.fail(str(body["lease"]),
                                str(body.get("error", "")))
         if path in ("/status", "/submit", "/lookup", "/lease",
-                    "/complete", "/fail", "/store", "/health"):
+                    "/complete", "/fail", "/store", "/health",
+                    "/metrics"):
             return 405, {"error": f"{method} not allowed on {path}"}
         return 404, {"error": f"no such endpoint {path}"}
