@@ -12,7 +12,9 @@ trajectory can be tracked across commits (CI uploads the bench-smoke
 job's file as an artifact, named ``BENCH_*.json`` when archived).
 The payload also embeds the session's ``repro.obs`` telemetry
 snapshot, so decode-cache hit rates, phase timings and shot counters
-ride the same perf-trajectory file.
+ride the same perf-trajectory file, and a ``provenance`` block (git
+sha, python version, platform, cpu count) — the identity
+``repro perf ingest`` keys the durable bench history on.
 
 Shared helpers (benchmarks import them ``from conftest``):
 
@@ -25,6 +27,7 @@ Shared helpers (benchmarks import them ``from conftest``):
 import json
 import os
 import platform
+import subprocess
 import sys
 
 import pytest
@@ -91,6 +94,33 @@ def _bench_row(bench):
     return row
 
 
+def _git_sha():
+    """Best-effort HEAD sha; ``None`` outside a checkout (or without
+    git) — `repro perf ingest` keys such points on their timestamp."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _provenance():
+    """The provenance block ``repro perf ingest`` keys history on:
+    commit identity plus the machine fingerprint inputs."""
+    return {
+        "git_sha": _git_sha(),
+        "python": sys.version.split()[0],
+        "system": platform.system(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def pytest_sessionfinish(session, exitstatus):
     path = session.config.getoption("bench_json")
     if not path:
@@ -101,6 +131,7 @@ def pytest_sessionfinish(session, exitstatus):
     payload = {
         "python": sys.version.split()[0],
         "machine": platform.machine(),
+        "provenance": _provenance(),
         "benchmarks": rows,
     }
     try:

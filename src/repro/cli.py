@@ -656,6 +656,104 @@ def cmd_report(args) -> None:
     print(render_report(files[0] if len(files) == 1 else files))
 
 
+def _perf_record(args) -> None:
+    from . import obs
+    from .obs import prof
+
+    cmd = list(args.cmd)
+    if cmd and cmd[0] == "--":
+        cmd = cmd[1:]
+    if not cmd:
+        sys.exit("perf record: missing wrapped command "
+                 "(usage: repro perf record [--flame PATH] -- CMD ...)")
+    if cmd[0] == "perf":
+        sys.exit("perf record: cannot wrap perf itself")
+    sub = build_parser().parse_args(cmd)
+    telemetry = getattr(sub, "telemetry", None)
+    with prof.profile() as profiler:
+        with obs.session(telemetry=telemetry,
+                         quiet=bool(getattr(sub, "quiet", False))):
+            COMMANDS[sub.command](sub)
+    snap = profiler.snapshot()
+    # Artifacts land before the stdout render: a closed pager must not
+    # cost the run its flamegraph.
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(snap, fh, indent=2, sort_keys=True)
+    if args.flame:
+        with open(args.flame, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(profiler.flame_lines()) + "\n")
+    print()
+    print(prof.render_profile(snap, top=args.top))
+    if args.json:
+        print(f"[profile written to {args.json}]")
+    if args.flame:
+        print(f"[flamegraph stacks written to {args.flame}]")
+    if telemetry:
+        print(f"[telemetry written to {telemetry}]")
+
+
+def _perf_ingest(args) -> None:
+    from .obs import bench
+
+    with open(args.bench_json, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    history = args.history or bench.DEFAULT_HISTORY
+    stats = bench.ingest(payload, history,
+                         source=os.path.basename(args.bench_json))
+    print(f"{history}: {stats['added']} point(s) added, "
+          f"{stats['updated']} updated")
+
+
+def _perf_trend(args) -> None:
+    from .obs import bench
+
+    history_path = args.history or bench.DEFAULT_HISTORY
+    rows = bench.trend_rows(bench.load_history(history_path),
+                            bench=args.bench)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return
+    if not rows:
+        print(f"{history_path}: no history points")
+        return
+    print(f"bench trend — {history_path}")
+    print(bench.render_trend(rows))
+
+
+def _perf_check(args) -> None:
+    from .obs import bench
+
+    history_path = args.history or bench.DEFAULT_HISTORY
+    history = bench.load_history(history_path)
+    current = None
+    if args.bench_json:
+        with open(args.bench_json, "r", encoding="utf-8") as fh:
+            current = bench.payload_records(json.load(fh))
+    rel_tol = args.rel_tol
+    if rel_tol is None:
+        rel_tol = bench.rel_tol_default(lax=True if args.lax else None)
+    results = bench.check(history, current, rel_tol=rel_tol,
+                          mad_k=args.mad_k,
+                          min_history=args.min_history)
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    elif not results:
+        print(f"{history_path}: nothing to check")
+    else:
+        print(f"bench check — {history_path} "
+              f"(rel_tol {rel_tol:.0%}, mad_k {args.mad_k:g})")
+        print(bench.render_check(results))
+    if any(r["status"] == "regression" for r in results) \
+            and not args.warn_only:
+        sys.exit(1)
+
+
+def cmd_perf(args) -> None:
+    {"record": _perf_record, "ingest": _perf_ingest,
+     "trend": _perf_trend, "check": _perf_check}[args.perf_command](args)
+
+
 #: Figure subcommands that execute injection campaigns (and therefore
 #: accept the engine flags); fig3/fig4 are analytic.
 CAMPAIGN_FIGURES = ("fig5", "fig6", "fig7", "fig8", "headline")
@@ -677,6 +775,7 @@ COMMANDS = {
     "submit": cmd_submit,
     "status": cmd_status,
     "fleet": cmd_fleet,
+    "perf": cmd_perf,
 }
 
 
@@ -991,6 +1090,71 @@ def build_parser() -> argparse.ArgumentParser:
                        "merge into one offline-fleet summary)")
     report.add_argument("file", type=str, nargs="+",
                         help="telemetry JSONL file(s) to summarise")
+    perf = subs.add_parser(
+        "perf", help="performance observatory: profile any command, "
+                     "keep a bench history, gate perf regressions")
+    perf_subs = perf.add_subparsers(dest="perf_command", required=True,
+                                    metavar="perf_command")
+    record = perf_subs.add_parser(
+        "record", help="run a repro command under the deterministic "
+                       "profiler (kernel buckets, decode stages, span "
+                       "self-times; counts stay bit-identical)")
+    record.add_argument("--flame", type=str, default=None, metavar="PATH",
+                        help="write collapsed flamegraph stacks (one "
+                             "'a;b;c <self-µs>' line per span path, "
+                             "flamegraph.pl / speedscope input)")
+    record.add_argument("--json", type=str, default=None, metavar="PATH",
+                        help="write the raw profile snapshot as JSON")
+    record.add_argument("--top", type=int, default=20,
+                        help="rows in the span-path self-time table")
+    record.add_argument("cmd", nargs=argparse.REMAINDER, metavar="CMD",
+                        help="the repro command to profile, e.g. "
+                             "'-- campaign spec.json --shots 4096'")
+    ingest = perf_subs.add_parser(
+        "ingest", help="append a --bench-json payload to the bench "
+                       "history, keyed by (git sha, machine "
+                       "fingerprint, benchmark)")
+    ingest.add_argument("bench_json", type=str,
+                        help="payload written by pytest --bench-json")
+    ingest.add_argument("--history", type=str, default=None,
+                        metavar="PATH",
+                        help="history JSONL (default: "
+                             "results/bench/history.jsonl)")
+    trend = perf_subs.add_parser(
+        "trend", help="per-benchmark shots/s series across commits")
+    trend.add_argument("--history", type=str, default=None, metavar="PATH",
+                       help="history JSONL (default: "
+                            "results/bench/history.jsonl)")
+    trend.add_argument("--bench", type=str, default=None,
+                       help="restrict to one benchmark name")
+    trend.add_argument("--json", action="store_true",
+                       help="emit the series as JSON")
+    check = perf_subs.add_parser(
+        "check", help="noise-aware perf-regression gate: current rate "
+                      "vs median of same-fingerprint history, MAD-"
+                      "scaled band; exits 1 on a confirmed regression")
+    check.add_argument("bench_json", type=str, nargs="?", default=None,
+                       help="payload to judge (default: the latest "
+                            "history point per benchmark)")
+    check.add_argument("--history", type=str, default=None, metavar="PATH",
+                       help="history JSONL (default: "
+                            "results/bench/history.jsonl)")
+    check.add_argument("--rel-tol", type=float, default=None,
+                       help="relative regression floor (default 0.10, "
+                            "0.30 lax)")
+    check.add_argument("--mad-k", type=float, default=4.0,
+                       help="MAD multiplier for the noise band")
+    check.add_argument("--min-history", type=int, default=3,
+                       help="baseline points needed before the gate "
+                            "arms")
+    check.add_argument("--lax", action="store_true",
+                       help="force the lax relative floor (otherwise "
+                            "REPRO_BENCH_LAX decides)")
+    check.add_argument("--warn-only", action="store_true",
+                       help="report regressions but always exit 0 "
+                            "(CI warm-up mode while history accrues)")
+    check.add_argument("--json", action="store_true",
+                       help="emit the verdicts as JSON")
     return parser
 
 

@@ -22,11 +22,13 @@ from __future__ import annotations
 import abc
 import warnings
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
 
 from .. import obs
+from ..obs import prof as _prof
 from ..codes.base import MemoryExperiment
 from ..frames.packing import column_counts, unpack_words
 from .batch import (DecodeCache, SyndromeBatch, pack_pattern_columns,
@@ -147,25 +149,59 @@ class Decoder(abc.ABC):
         cache (or :meth:`_decode_pattern` on a miss), and the parities
         scattered back — exact, since identical patterns decode
         identically.
+
+        With a profiler enabled the three stages — pattern dedup,
+        cache probe, matcher — are attributed separately
+        (``decode.dedup`` / ``decode.cache_probe`` /
+        ``decode.matcher``); one ``None`` check per batch otherwise.
         """
+        prof = _prof._ACTIVE
+        t0 = perf_counter() if prof is not None else 0.0
         uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+        if prof is not None:
+            prof.stage("decode.dedup", perf_counter() - t0)
         cache = self._cache()
         _OBS_PATTERNS.inc(int(keys.shape[0]))
         _OBS_DISTINCT.inc(int(uniq.shape[0]))
         out = np.empty(uniq.shape[0], dtype=np.uint8)
         misses = 0
-        for i in range(uniq.shape[0]):
-            key = uniq[i].tobytes()
-            parity = cache.get(num_detectors, key) if cache is not None \
-                else None
-            if parity is None:
-                misses += 1
-                bits = np.unpackbits(uniq[i], count=num_detectors,
-                                     bitorder="little")
-                parity = int(self._decode_pattern(bits)) & 1
-                if cache is not None:
-                    cache.put(num_detectors, key, parity)
-            out[i] = parity
+        if prof is None:
+            for i in range(uniq.shape[0]):
+                key = uniq[i].tobytes()
+                parity = cache.get(num_detectors, key) \
+                    if cache is not None else None
+                if parity is None:
+                    misses += 1
+                    bits = np.unpackbits(uniq[i], count=num_detectors,
+                                         bitorder="little")
+                    parity = int(self._decode_pattern(bits)) & 1
+                    if cache is not None:
+                        cache.put(num_detectors, key, parity)
+                out[i] = parity
+        else:
+            pc = perf_counter
+            probe_s = 0.0
+            match_s = 0.0
+            for i in range(uniq.shape[0]):
+                t1 = pc()
+                key = uniq[i].tobytes()
+                parity = cache.get(num_detectors, key) \
+                    if cache is not None else None
+                probe_s += pc() - t1
+                if parity is None:
+                    misses += 1
+                    t2 = pc()
+                    bits = np.unpackbits(uniq[i], count=num_detectors,
+                                         bitorder="little")
+                    parity = int(self._decode_pattern(bits)) & 1
+                    match_s += pc() - t2
+                    if cache is not None:
+                        cache.put(num_detectors, key, parity)
+                out[i] = parity
+            prof.stage("decode.cache_probe", probe_s,
+                       calls=int(uniq.shape[0]))
+            if misses:
+                prof.stage("decode.matcher", match_s, calls=misses)
         _OBS_MISSES.inc(misses)
         _OBS_HITS.inc(int(uniq.shape[0]) - misses)
         return out[inverse]
@@ -211,9 +247,13 @@ class Decoder(abc.ABC):
     # ------------------------------------------------------------------
     def _decode_packed(self, experiment: MemoryExperiment,
                        batch: SyndromeBatch) -> DecodeResult:
+        prof = _prof._ACTIVE
+        t0 = perf_counter() if prof is not None else 0.0
         det_words, raw_words = prepare_packed_inputs(
             experiment, batch.record_words, batch.batch_size, self.graph,
             self.use_final_data)
+        if prof is not None:
+            prof.stage("decode.prepare", perf_counter() - t0)
         B = batch.batch_size
         raw = unpack_words(raw_words, B)
         rounds_eff, P, W = det_words.shape

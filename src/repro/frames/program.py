@@ -88,6 +88,19 @@ _LAYER_OF = {OP_H: OP_H_LAYER, OP_S: OP_S_LAYER, OP_CX: OP_CX_LAYER,
              OP_MEASURE: OP_MEASURE_LAYER, OP_RESET: OP_RESET_LAYER,
              OP_DEPOLARIZE: OP_DEPOLARIZE_LAYER}
 
+#: Opcode → profiler kernel-bucket name (:mod:`repro.obs.prof`):
+#: scalar kinds plus their ``.fused`` layer twins, so the profile
+#: separates fused-layer throughput from scalar stragglers.
+OP_KIND = {OP_H: "h", OP_S: "s", OP_CX: "cx", OP_CZ: "cz",
+           OP_SWAP: "swap", OP_MEASURE: "measure", OP_RESET: "reset",
+           OP_DEPOLARIZE: "depolarize", OP_RESET_NOISE: "reset_noise",
+           OP_H_LAYER: "h.fused", OP_S_LAYER: "s.fused",
+           OP_CX_LAYER: "cx.fused", OP_CZ_LAYER: "cz.fused",
+           OP_SWAP_LAYER: "swap.fused",
+           OP_MEASURE_LAYER: "measure.fused",
+           OP_RESET_LAYER: "reset.fused",
+           OP_DEPOLARIZE_LAYER: "depolarize.fused"}
+
 #: Opcodes whose execution consumes the shared rng stream.  Their
 #: mutual order is a hard scheduling constraint: permuting any two
 #: would hand each the other's draws.

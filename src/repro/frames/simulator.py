@@ -24,6 +24,7 @@ through the lowered ops of a :class:`~repro.frames.program.FrameProgram`
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional, Union
 
 import numpy as np
@@ -59,6 +60,7 @@ from .program import (
 )
 
 from .. import obs
+from ..obs import prof as _prof
 
 _LAYER_OPS = frozenset((OP_CX_LAYER, OP_CZ_LAYER, OP_H_LAYER,
                         OP_S_LAYER, OP_SWAP_LAYER, OP_MEASURE_LAYER,
@@ -345,7 +347,17 @@ class FrameSimulator:
         executors (the multilevel-splitting driver in
         :mod:`repro.rare.split`) can run a program segment by segment,
         resampling the batch between segments.
+
+        With a profiler enabled (``repro perf record``) dispatch
+        switches to the sampling twin below; this ``None`` check is
+        the entire hot-path cost when profiling is off.
         """
+        if _prof._ACTIVE is not None:
+            self._exec_ops_profiled(ops, record_words, _prof._ACTIVE)
+            return
+        self._exec_ops_plain(ops, record_words)
+
+    def _exec_ops_plain(self, ops, record_words: np.ndarray) -> None:
         for op in ops:
             code = op[0]
             if code == OP_CX:
@@ -384,6 +396,104 @@ class FrameSimulator:
                 self.swap_layer(op[1], op[2])
             else:  # pragma: no cover - compiler emits no other opcodes
                 raise NotImplementedError(f"opcode {code}")
+
+    def _exec_ops_profiled(self, ops, record_words: np.ndarray,
+                           prof) -> None:
+        """Sampling twin of :meth:`exec_ops`: one block in
+        ``prof.SAMPLE_EVERY`` runs a per-op-timed mirror of the
+        dispatch chain (each op lands in its per-kind kernel bucket;
+        fused layers count their width as scalar-equivalent ops), the
+        rest run the plain chain — every block contributes wall time,
+        and the profiler scales the sampled buckets to it at snapshot.
+        Sampling is what keeps the enabled overhead < 2%: scalar frame
+        ops are a few µs each, so clocking *every* op costs ~2% by
+        itself.  Within a sampled block the clock is read only at
+        opcode-change boundaries (runs of one opcode share a bucket).
+        The mirrored chain must stay in lockstep with
+        :meth:`_exec_ops_plain` — the profiled/unprofiled bit-identity
+        test enforces it."""
+        table, sampled = prof.begin_block()
+        pc = perf_counter
+        if not sampled:
+            t0 = pc()
+            self._exec_ops_plain(ops, record_words)
+            prof.end_block(pc() - t0)
+            return
+        n_codes = len(table)
+        t_acc = [0.0] * n_codes
+        c_acc = [0] * n_codes
+        o_acc = [0] * n_codes   # layer widths; scalar codes stay 0
+        run_code = -1           # sentinel: no run open yet
+        run_n = 0
+        t_blk = t_run = pc()
+        for op in ops:
+            code = op[0]
+            if code != run_code:
+                t1 = pc()
+                if run_code >= 0:
+                    t_acc[run_code] += t1 - t_run
+                    c_acc[run_code] += run_n
+                t_run = t1
+                run_code = code
+                run_n = 0
+            run_n += 1
+            if code == OP_CX:
+                self.cx(op[1], op[2])
+            elif code == OP_CX_LAYER:
+                self.cx_layer(op[1], op[2])
+                o_acc[code] += len(op[1])
+            elif code == OP_H:
+                self.h(op[1])
+            elif code == OP_H_LAYER:
+                self.h_layer(op[1])
+                o_acc[code] += len(op[1])
+            elif code == OP_MEASURE:
+                record_words[op[2]] = self.measure(op[1], op[3])
+            elif code == OP_MEASURE_LAYER:
+                record_words[op[2]] = self.measure_layer(op[1], op[3])
+                o_acc[code] += len(op[1])
+            elif code == OP_DEPOLARIZE:
+                self.depolarize(op[1], op[2])
+            elif code == OP_DEPOLARIZE_LAYER:
+                self.depolarize_layer(op[1], op[2])
+                o_acc[code] += len(op[1])
+            elif code == OP_RESET_NOISE:
+                self.reset_noise(op[1], op[2], op[3])
+            elif code == OP_RESET:
+                self.reset(op[1])
+            elif code == OP_RESET_LAYER:
+                self.reset_layer(op[1])
+                o_acc[code] += len(op[1])
+            elif code == OP_CZ:
+                self.cz(op[1], op[2])
+            elif code == OP_CZ_LAYER:
+                self.cz_layer(op[1], op[2])
+                o_acc[code] += len(op[1])
+            elif code == OP_S:
+                self.s(op[1])
+            elif code == OP_S_LAYER:
+                self.s_layer(op[1])
+                o_acc[code] += len(op[1])
+            elif code == OP_SWAP:
+                self.swap(op[1], op[2])
+            elif code == OP_SWAP_LAYER:
+                self.swap_layer(op[1], op[2])
+                o_acc[code] += len(op[1])
+            else:  # pragma: no cover - compiler emits no other opcodes
+                raise NotImplementedError(f"opcode {code}")
+        t_end = pc()
+        if run_code >= 0:
+            t_acc[run_code] += t_end - t_run
+            c_acc[run_code] += run_n
+        for code, calls in enumerate(c_acc):
+            if not calls:
+                continue
+            st = table[code]
+            st.total_s += t_acc[code]
+            st.count += calls
+            # Scalar codes never touch o_acc: one op per call.
+            st.ops += o_acc[code] or calls
+        prof.end_block(t_end - t_blk)
 
     def shot_weights(self) -> np.ndarray:
         """Per-shot importance weights ``exp(log_weights)`` (unit

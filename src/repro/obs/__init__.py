@@ -22,9 +22,15 @@ engine's bit-identity contract is property-tested with telemetry on):
 * :mod:`repro.obs.trace` — distributed trace contexts for the campaign
   service: deterministic span ids propagated over the lease wire so
   remote phase spans land in one causally-linked trace per job.
+* :mod:`repro.obs.prof` — the opt-in deterministic profiler
+  (``repro perf record``): per-op-kind kernel buckets, decode-stage
+  attribution, span-path self-times and flamegraph export.
+* :mod:`repro.obs.bench` — the bench history store behind
+  ``repro perf ingest/trend/check``: per-(sha, machine, benchmark)
+  shots/s series with noise-aware regression detection.
 """
 
-from . import trace
+from . import bench, prof, trace
 from .metrics import (
     SCHEMA_VERSION,
     Counter,
@@ -54,11 +60,13 @@ from .report import last_snapshot, load_telemetry, render_report
 
 def reset() -> None:
     """Zero the global registry in place, drop any buffered trace
-    spans, and drop any ambient monitor (worker-process entry: metrics
-    become worker-local, and a monitor inherited across ``fork`` must
-    never export from a child)."""
+    spans, disable any profiler, and drop any ambient monitor
+    (worker-process entry: metrics become worker-local, a profiler
+    inherited across ``fork`` must not double-attribute in children,
+    and a forked monitor must never export)."""
     registry().reset()
     trace.reset()
+    prof.disable()
     install(None)
 
 
@@ -77,6 +85,8 @@ __all__ = [
     "reset",
     "merge_snapshots",
     "render_prometheus",
+    "bench",
+    "prof",
     "trace",
     "CampaignMonitor",
     "ProgressRenderer",

@@ -1,0 +1,298 @@
+"""Bench history store: durable shots/s series + regression gating.
+
+CI emits one ``--bench-json`` payload per run and used to forget it.
+This module makes the perf trajectory durable and queryable:
+
+* :func:`ingest` appends each benchmark row of a payload to a JSONL
+  history (default ``results/bench/history.jsonl``), keyed by
+  ``(git sha, machine fingerprint, benchmark id)`` — the provenance
+  block :mod:`benchmarks.conftest` stamps into the payload.  Re-runs
+  of the same key are last-write-wins at load time, so one point per
+  commit per machine survives.
+* :func:`trend` renders the per-benchmark series across commits.
+* :func:`check` is the CI gate: noise-aware regression detection
+  against the median of same-fingerprint history, with thresholds
+  scaled by the MAD (robust sigma, ``1.4826 * MAD``) so jittery
+  benches earn wide bands and stable ones tight bands.  Lax mode
+  (``REPRO_BENCH_LAX``, same switch as the bench bars) widens the
+  relative floor for contended CI runners.
+
+Only same-fingerprint points are comparable — shots/s on a 2-core CI
+runner says nothing about an 8-core dev box — so baselines never mix
+fingerprints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from statistics import median
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: History record schema (the ``"schema"`` field of every line).
+HISTORY_SCHEMA = 1
+
+#: Default history location, shared with CI's ``bench-history``
+#: artifact.
+DEFAULT_HISTORY = os.path.join("results", "bench", "history.jsonl")
+
+#: Regression gate defaults: relative floor (strict / lax), MAD
+#: multiplier, minimum same-fingerprint baseline points before the
+#: gate arms.
+REL_TOL_STRICT = 0.10
+REL_TOL_LAX = 0.30
+MAD_K = 4.0
+MIN_HISTORY = 3
+
+#: Robust-sigma scale: for normal noise ``sigma ~= 1.4826 * MAD``.
+MAD_SIGMA = 1.4826
+
+
+def rel_tol_default(lax: Optional[bool] = None) -> float:
+    """The relative regression floor, honouring ``REPRO_BENCH_LAX``
+    when ``lax`` is not forced."""
+    if lax is None:
+        lax = bool(os.environ.get("REPRO_BENCH_LAX"))
+    return REL_TOL_LAX if lax else REL_TOL_STRICT
+
+
+def fingerprint(provenance: Dict[str, object]) -> str:
+    """A coarse machine id: python major.minor, OS, arch, cpu count.
+
+    Deliberately drops patch versions and kernel builds — points must
+    stay comparable across routine CI image refreshes."""
+    py = str(provenance.get("python") or "?")
+    py = ".".join(py.split(".")[:2])
+    system = str(provenance.get("system") or "?").lower()
+    machine = str(provenance.get("machine") or "?")
+    cpus = provenance.get("cpu_count") or "?"
+    return f"py{py}-{system}-{machine}-{cpus}cpu"
+
+
+def record_key(rec: Dict[str, object]) -> Tuple[object, object, object]:
+    """Identity for last-write-wins dedup.  Records without a git sha
+    (runs outside a checkout) key on their timestamp instead, so local
+    exploratory points never clobber each other."""
+    sha = rec.get("git_sha") or f"t{rec.get('time')}"
+    return (sha, rec.get("fingerprint"), rec.get("bench"))
+
+
+def rate_of(rec: Dict[str, object]) -> Optional[float]:
+    """The comparable rate for a record: shots/s when the bench
+    reports throughput, else inverse runtime (runs/s)."""
+    rate = rec.get("shots_per_s")
+    if rate:
+        return float(rate)
+    min_s = rec.get("min_s")
+    if min_s:
+        return 1.0 / float(min_s)
+    return None
+
+
+def payload_records(payload: Dict[str, object],
+                    source: Optional[str] = None,
+                    now: Optional[float] = None) -> List[Dict[str, object]]:
+    """Flatten a ``--bench-json`` payload into history records.
+
+    Tolerates pre-provenance payloads (older runners): the sha is
+    ``None`` and the fingerprint falls back to the payload's top-level
+    python/machine fields."""
+    prov = dict(payload.get("provenance") or {})
+    if not prov:
+        prov = {"python": payload.get("python"),
+                "machine": payload.get("machine")}
+    stamp = now if now is not None else time.time()
+    records = []
+    for row in payload.get("benchmarks", []):
+        if row.get("min_s") is None and not row.get("shots_per_s"):
+            continue
+        records.append({
+            "schema": HISTORY_SCHEMA,
+            "time": round(float(stamp), 3),
+            "git_sha": prov.get("git_sha"),
+            "fingerprint": fingerprint(prov),
+            "bench": row.get("name"),
+            "shots_per_s": row.get("shots_per_s"),
+            "min_s": row.get("min_s"),
+            "mean_s": row.get("mean_s"),
+            "shots": row.get("shots"),
+            "source": source,
+        })
+    return records
+
+
+def load_history(path: str) -> List[Dict[str, object]]:
+    """Parse a history JSONL, last-write-wins per
+    :func:`record_key`, time-ordered.  Malformed lines are skipped —
+    a truncated CI artifact must not take the gate down."""
+    by_key: Dict[Tuple[object, object, object], Dict[str, object]] = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(rec, dict) or "bench" not in rec:
+                    continue
+                by_key[record_key(rec)] = rec
+    return sorted(by_key.values(), key=lambda r: (r.get("time") or 0.0))
+
+
+def append_history(path: str, records: Iterable[Dict[str, object]]) -> int:
+    """Append records (creating parent dirs); returns count written."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    n = 0
+    with open(path, "a", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+def ingest(payload: Dict[str, object], path: str,
+           source: Optional[str] = None,
+           now: Optional[float] = None) -> Dict[str, int]:
+    """Ingest a ``--bench-json`` payload into the history file.
+
+    Returns ``{"added": fresh keys, "updated": re-run keys}`` —
+    updates still append (the file is a log); dedup happens at load.
+    """
+    existing = {record_key(r) for r in load_history(path)}
+    records = payload_records(payload, source=source, now=now)
+    added = sum(1 for r in records if record_key(r) not in existing)
+    append_history(path, records)
+    return {"added": added, "updated": len(records) - added}
+
+
+def trend_rows(history: List[Dict[str, object]],
+               bench: Optional[str] = None) -> List[Dict[str, object]]:
+    """Per-benchmark time-ordered series with step-over-step deltas."""
+    rows: List[Dict[str, object]] = []
+    last: Dict[Tuple[object, object], float] = {}
+    for rec in history:
+        if bench and rec.get("bench") != bench:
+            continue
+        rate = rate_of(rec)
+        if rate is None:
+            continue
+        key = (rec.get("bench"), rec.get("fingerprint"))
+        prev = last.get(key)
+        last[key] = rate
+        sha = rec.get("git_sha")
+        rows.append({
+            "bench": rec.get("bench"),
+            "fingerprint": rec.get("fingerprint"),
+            "git_sha": sha,
+            "sha": (str(sha)[:9] if sha else "-"),
+            "time": rec.get("time"),
+            "rate": round(rate, 3),
+            "delta_pct": (round(100.0 * (rate - prev) / prev, 1)
+                          if prev else None),
+        })
+    return rows
+
+
+def check(history: List[Dict[str, object]],
+          current: Optional[List[Dict[str, object]]] = None,
+          rel_tol: Optional[float] = None,
+          mad_k: float = MAD_K,
+          min_history: int = MIN_HISTORY) -> List[Dict[str, object]]:
+    """Judge each current point against its same-fingerprint history.
+
+    ``current`` defaults to the latest history point per
+    (bench, fingerprint).  Baseline = median of the *other* points;
+    a point regresses when its rate falls below
+    ``median - max(rel_tol * median, mad_k * 1.4826 * MAD)`` — the
+    relative floor keeps tight-MAD benches from tripping on
+    micro-noise, the MAD term widens the band for jittery ones.
+    Fewer than ``min_history`` baseline points: status ``no-baseline``
+    (never a failure — the gate arms itself as history accrues).
+    """
+    if rel_tol is None:
+        rel_tol = rel_tol_default()
+    if current is None:
+        latest: Dict[Tuple[object, object], Dict[str, object]] = {}
+        for rec in history:
+            if rate_of(rec) is None:
+                continue
+            latest[(rec.get("bench"), rec.get("fingerprint"))] = rec
+        current = list(latest.values())
+    results = []
+    for cur in current:
+        rate = rate_of(cur)
+        row: Dict[str, object] = {
+            "bench": cur.get("bench"),
+            "fingerprint": cur.get("fingerprint"),
+            "rate": (round(rate, 3) if rate is not None else None),
+        }
+        if rate is None:
+            row.update(status="no-rate", baseline_n=0)
+            results.append(row)
+            continue
+        cur_key = record_key(cur)
+        baseline = [r for r in (rate_of(rec) for rec in history
+                                if rec.get("bench") == cur.get("bench")
+                                and rec.get("fingerprint")
+                                == cur.get("fingerprint")
+                                and record_key(rec) != cur_key)
+                    if r is not None]
+        row["baseline_n"] = len(baseline)
+        if len(baseline) < min_history:
+            row["status"] = "no-baseline"
+            results.append(row)
+            continue
+        med = median(baseline)
+        mad = median(abs(x - med) for x in baseline)
+        band = max(rel_tol * med, mad_k * MAD_SIGMA * mad)
+        threshold = med - band
+        row.update(median=round(med, 3), mad=round(mad, 3),
+                   threshold=round(threshold, 3),
+                   ratio=round(rate / med, 3) if med else None)
+        if rate < threshold:
+            row["status"] = "regression"
+        elif med and rate > med * (1.0 + rel_tol):
+            row["status"] = "improved"
+        else:
+            row["status"] = "ok"
+        results.append(row)
+    return results
+
+
+def render_check(results: List[Dict[str, object]]) -> str:
+    """ASCII verdict table plus a one-line summary."""
+    lines = [f"  {'bench':<40} {'rate':>12} {'median':>12} "
+             f"{'thresh':>12} {'n':>3}  status"]
+    for row in sorted(results, key=lambda r: str(r.get("bench"))):
+        lines.append(
+            f"  {str(row.get('bench')):<40} "
+            f"{_fmt(row.get('rate')):>12} {_fmt(row.get('median')):>12} "
+            f"{_fmt(row.get('threshold')):>12} "
+            f"{row.get('baseline_n', 0):>3}  {row['status']}")
+    n_reg = sum(1 for r in results if r["status"] == "regression")
+    n_armed = sum(1 for r in results
+                  if r["status"] in ("ok", "improved", "regression"))
+    lines.append(f"{len(results)} benchmark(s): {n_armed} gated, "
+                 f"{n_reg} regression(s)")
+    return "\n".join(lines)
+
+
+def render_trend(rows: List[Dict[str, object]]) -> str:
+    lines = [f"  {'bench':<40} {'sha':<10} {'rate':>12} {'delta':>8}"]
+    for row in rows:
+        delta = row.get("delta_pct")
+        lines.append(
+            f"  {str(row.get('bench')):<40} {row['sha']:<10} "
+            f"{_fmt(row.get('rate')):>12} "
+            f"{('%+.1f%%' % delta) if delta is not None else '-':>8}")
+    return "\n".join(lines)
+
+
+def _fmt(value: Optional[float]) -> str:
+    return f"{value:.3f}" if isinstance(value, (int, float)) else "-"

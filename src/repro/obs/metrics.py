@@ -29,7 +29,10 @@ from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 #: Telemetry snapshot schema version (the ``"schema"`` field of every
 #: exported JSONL record).  Bump when the snapshot shape changes.
-SCHEMA_VERSION = 1
+#: v2: span rows gained ``child_s`` (time spent inside nested spans,
+#: the input to the self-time column) and snapshots may carry an
+#: optional ``profile`` section from :mod:`repro.obs.prof`.
+SCHEMA_VERSION = 2
 
 #: Recent events kept verbatim (per kind, total) for the snapshot's
 #: ``recent_events`` field; per-kind totals are unbounded counters.
@@ -61,13 +64,19 @@ class Gauge:
 
 
 class SpanStats:
-    """Accumulated wall-clock for one named phase."""
+    """Accumulated wall-clock for one named phase.
 
-    __slots__ = ("total_s", "count")
+    ``total_s`` is inclusive of nested spans; ``child_s`` is the part
+    of ``total_s`` spent inside directly nested spans, so
+    ``total_s - child_s`` is the phase's *self* time.
+    """
+
+    __slots__ = ("total_s", "count", "child_s")
 
     def __init__(self) -> None:
         self.total_s = 0.0
         self.count = 0
+        self.child_s = 0.0
 
 
 class Histogram:
@@ -119,6 +128,7 @@ class MetricsRegistry:
         self._stack: List[str] = []
         self._event_counts: Dict[str, int] = {}
         self._events: Deque[Dict[str, object]] = deque(maxlen=EVENT_BUFFER)
+        self._span_hook = None
         self._start = perf_counter()
 
     # -- metric handles ------------------------------------------------
@@ -158,6 +168,21 @@ class MetricsRegistry:
                 st = self._spans[name] = SpanStats()
             st.total_s += dt
             st.count += 1
+            if self._stack:
+                parent = self._spans.get(self._stack[-1])
+                if parent is None:
+                    parent = self._spans[self._stack[-1]] = SpanStats()
+                parent.child_s += dt
+            if self._span_hook is not None:
+                self._span_hook(tuple(self._stack) + (name,), dt)
+
+    def set_span_hook(self, hook) -> None:
+        """Install ``hook(path, dt)``, called at every span exit with
+        the full span path (outermost first) and the span's duration —
+        the profiler's tap.  ``None`` removes it.  Span timings are
+        unaffected either way (the hook runs outside the timed
+        window)."""
+        self._span_hook = hook
 
     def span_stack(self) -> Tuple[str, ...]:
         """The currently open spans, outermost first."""
@@ -209,7 +234,8 @@ class MetricsRegistry:
             "counters": {k: c.value for k, c in self._counters.items()},
             "gauges": {k: g.value for k, g in self._gauges.items()
                        if g.value is not None},
-            "spans": {k: {"total_s": round(s.total_s, 6), "count": s.count}
+            "spans": {k: {"total_s": round(s.total_s, 6), "count": s.count,
+                          "child_s": round(s.child_s, 6)}
                       for k, s in self._spans.items()},
             "events": dict(self._event_counts),
         }
@@ -229,6 +255,7 @@ class MetricsRegistry:
         for s in self._spans.values():
             s.total_s = 0.0
             s.count = 0
+            s.child_s = 0.0
         for h in self._histograms.values():
             h.counts = [0] * (len(h.bounds) + 1)
             h.total = 0
@@ -244,13 +271,14 @@ def merge_snapshots(base: Dict[str, object],
                     ) -> Dict[str, object]:
     """Sum worker snapshots into a campaign-wide view.
 
-    Counters, span totals/counts, event totals and histogram buckets
-    add (histograms with mismatched bounds keep the base's buckets and
-    fold the other's total/sum only — bounds are fixed per metric name
-    in practice); gauges are last-write-wins with ``base`` taking
-    precedence (worker gauges fill gaps only — per-worker gauge detail
-    belongs in the per-worker section of the telemetry record, not the
-    merged namespace).
+    Counters, span totals/counts/child times, event totals, histogram
+    buckets and profile sections add (histograms with mismatched
+    bounds keep the base's buckets and fold the other's total/sum only
+    — bounds are fixed per metric name in practice; span rows from
+    schema-1 snapshots may lack ``child_s`` and merge as zero); gauges
+    are last-write-wins with ``base`` taking precedence (worker gauges
+    fill gaps only — per-worker gauge detail belongs in the per-worker
+    section of the telemetry record, not the merged namespace).
     """
     counters = dict(base.get("counters", {}))
     gauges = dict(base.get("gauges", {}))
@@ -272,6 +300,9 @@ def merge_snapshots(base: Dict[str, object],
             st = spans.setdefault(k, {"total_s": 0.0, "count": 0})
             st["total_s"] = round(st["total_s"] + v["total_s"], 6)
             st["count"] += v["count"]
+            if "child_s" in st or "child_s" in v:
+                st["child_s"] = round(st.get("child_s", 0.0)
+                                      + v.get("child_s", 0.0), 6)
         for k, v in snap.get("events", {}).items():
             events[k] = events.get(k, 0) + v
         for k, v in snap.get("histograms", {}).items():
@@ -286,6 +317,10 @@ def merge_snapshots(base: Dict[str, object],
                                                      v["counts"])]
             h["total"] += v["total"]
             h["sum"] = round(h["sum"] + v["sum"], 9)
+    profiles = [p for p in
+                [base.get("profile")] + [s.get("profile") for s in others
+                                         if s]
+                if p]
     merged = dict(base)
     merged["counters"] = counters
     merged["gauges"] = gauges
@@ -293,6 +328,47 @@ def merge_snapshots(base: Dict[str, object],
     merged["events"] = events
     if histograms:
         merged["histograms"] = histograms
+    if profiles:
+        merged["profile"] = merge_profiles(profiles)
+    return merged
+
+
+def merge_profiles(profiles: List[Dict[str, object]]) -> Dict[str, object]:
+    """Sum :mod:`repro.obs.prof` snapshot sections (kernel buckets,
+    decode stages, span paths) across processes.  Self-times add, like
+    every other duration here."""
+    kernels: Dict[str, Dict[str, object]] = {}
+    stages: Dict[str, Dict[str, object]] = {}
+    paths: Dict[str, Dict[str, object]] = {}
+    sampling: Dict[str, int] = {}
+    for prof in profiles:
+        samp = prof.get("sampling")
+        if isinstance(samp, dict):
+            sampling.setdefault("every", samp.get("every", 0))
+            sampling["blocks"] = sampling.get("blocks", 0) \
+                + samp.get("blocks", 0)
+            sampling["sampled"] = sampling.get("sampled", 0) \
+                + samp.get("sampled", 0)
+        for k, v in prof.get("kernels", {}).items():
+            row = kernels.setdefault(
+                k, {"total_s": 0.0, "calls": 0, "ops": 0})
+            row["total_s"] = round(row["total_s"] + v["total_s"], 6)
+            row["calls"] += v["calls"]
+            row["ops"] += v["ops"]
+        for k, v in prof.get("stages", {}).items():
+            row = stages.setdefault(k, {"total_s": 0.0, "calls": 0})
+            row["total_s"] = round(row["total_s"] + v["total_s"], 6)
+            row["calls"] += v["calls"]
+        for k, v in prof.get("paths", {}).items():
+            row = paths.setdefault(
+                k, {"total_s": 0.0, "count": 0, "self_s": 0.0})
+            row["total_s"] = round(row["total_s"] + v["total_s"], 6)
+            row["count"] += v["count"]
+            row["self_s"] = round(row["self_s"] + v.get("self_s", 0.0), 6)
+    merged: Dict[str, object] = {"kernels": kernels, "stages": stages,
+                                 "paths": paths}
+    if sampling:
+        merged["sampling"] = sampling
     return merged
 
 
@@ -412,6 +488,22 @@ def render_prometheus(snapshot: Dict[str, object]) -> str:
         samples.append(_prom_sample(prom + "_count", labels, row["total"]))
     for prom, samples in hist_groups.items():
         family(prom, "histogram", f"Registry histogram {prom}.", samples)
+
+    profile = snapshot.get("profile") or {}
+    family("repro_kernel_seconds_total", "counter",
+           "Profiler wall-clock per frames-executor op kind.",
+           [_prom_sample("repro_kernel_seconds_total", {"kind": k},
+                         v["total_s"])
+            for k, v in sorted(profile.get("kernels", {}).items())])
+    family("repro_kernel_ops_total", "counter",
+           "Profiler scalar-equivalent ops per frames-executor op kind.",
+           [_prom_sample("repro_kernel_ops_total", {"kind": k}, v["ops"])
+            for k, v in sorted(profile.get("kernels", {}).items())])
+    family("repro_profile_stage_seconds_total", "counter",
+           "Profiler wall-clock per attributed sub-phase stage.",
+           [_prom_sample("repro_profile_stage_seconds_total",
+                         {"stage": k}, v["total_s"])
+            for k, v in sorted(profile.get("stages", {}).items())])
 
     return "\n".join(lines) + "\n"
 

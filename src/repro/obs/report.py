@@ -166,8 +166,20 @@ def render_report(path: Union[str, Sequence[str]]) -> str:
         for name, st in sorted(spans.items(),
                                key=lambda kv: -kv[1]["total_s"]):
             share = _fmt_rate(st["total_s"], total)
+            # Self time = cumulative minus nested children, so parent
+            # phases stop double-counting their children (schema-1
+            # files lack child_s and show self == total).
+            self_s = max(st["total_s"] - st.get("child_s", 0.0), 0.0)
             lines.append(f"{name:<{width}}  {st['total_s']:9.3f}s "
-                         f"x{st['count']:<7d} {share:>6}")
+                         f"{self_s:9.3f}s self x{st['count']:<7d} "
+                         f"{share:>6}")
+
+    profile = snap.get("profile")
+    if profile:
+        from .prof import render_profile
+
+        lines += _section("profile")
+        lines.append(render_profile(profile))
 
     hits = counters.get("decode.cache_hits", 0)
     misses = counters.get("decode.cache_misses", 0)

@@ -25,6 +25,7 @@ from contextlib import contextmanager
 from time import perf_counter
 from typing import Dict, IO, Iterator, List, Optional
 
+from . import prof
 from .metrics import SCHEMA_VERSION, merge_snapshots, registry
 
 #: Seconds between periodic JSONL snapshot records.
@@ -262,8 +263,12 @@ class CampaignMonitor:
             self.writer.write(self._snapshot_record())
 
     def _merged_snapshot(self) -> Dict[str, object]:
-        return merge_snapshots(registry().snapshot(),
+        snap = merge_snapshots(registry().snapshot(),
                                self._worker_snaps.values())
+        profile = prof.snapshot_active()
+        if profile is not None:
+            snap["profile"] = profile
+        return snap
 
     def _snapshot_record(self, final: bool = False) -> Dict[str, object]:
         rec = dict(self._merged_snapshot())

@@ -721,8 +721,12 @@ class Dispatcher:
         pool worker's latest cumulative snapshot — the `/metrics`
         scrape body (JSON form; the Prometheus rendering is
         :func:`repro.obs.metrics.render_prometheus` of this)."""
-        return obs.merge_snapshots(obs.registry().snapshot(),
+        snap = obs.merge_snapshots(obs.registry().snapshot(),
                                    list(self._runner_snaps.values()))
+        profile = obs.prof.snapshot_active()
+        if profile is not None:
+            snap["profile"] = profile
+        return snap
 
 
 def execute_lease_wire(lease: Mapping[str, Any],

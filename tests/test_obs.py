@@ -134,6 +134,98 @@ class TestRegistry:
         assert merged["events"] == {"e": 3, "f": 1}
 
 
+class TestMergeEdgeCases:
+    """merge_snapshots against the snapshots real fleets produce:
+    older runners missing sections, histogram bounds that drifted
+    across versions, and label-encoded names that collide once
+    sanitized for Prometheus."""
+
+    def test_mismatched_histogram_bounds_fold_totals_only(self):
+        base = {"histograms": {"h": {"bounds": [1.0, 2.0],
+                                     "counts": [1, 2, 3],
+                                     "total": 6, "sum": 9.0}}}
+        other = {"histograms": {"h": {"bounds": [5.0, 10.0],
+                                      "counts": [4, 4, 4],
+                                      "total": 12, "sum": 80.0}}}
+        merged = obs.merge_snapshots(base, [other])
+        h = merged["histograms"]["h"]
+        # Base buckets survive unchanged — summing counts across
+        # different bucket edges would fabricate a distribution —
+        # while the bound-free total/sum still aggregate.
+        assert h["bounds"] == [1.0, 2.0]
+        assert h["counts"] == [1, 2, 3]
+        assert h["total"] == 18
+        assert h["sum"] == 89.0
+
+    def test_histogram_only_in_other_is_adopted(self):
+        other = {"histograms": {"h": {"bounds": [1.0], "counts": [2, 1],
+                                      "total": 3, "sum": 2.5}}}
+        merged = obs.merge_snapshots({}, [other])
+        assert merged["histograms"]["h"]["total"] == 3
+
+    def test_missing_sections_tolerated(self):
+        """A schema-1-era runner snapshot without histograms/events
+        keys (or with nothing at all) merges cleanly."""
+        base = {"counters": {"a": 1},
+                "histograms": {"h": {"bounds": [1.0], "counts": [1, 0],
+                                     "total": 1, "sum": 0.5}}}
+        bare = {"counters": {"a": 2}}  # no events/histograms/spans
+        merged = obs.merge_snapshots(base, [bare, {}, None])
+        assert merged["counters"] == {"a": 3}
+        assert merged["events"] == {}
+        assert merged["histograms"]["h"]["total"] == 1
+        # And the other direction: a base without sections absorbs.
+        merged = obs.merge_snapshots({}, [base])
+        assert merged["counters"] == {"a": 1}
+
+    def test_span_child_s_merges_with_legacy_rows(self):
+        base = {"spans": {"s": {"total_s": 1.0, "count": 1,
+                                "child_s": 0.25}}}
+        legacy = {"spans": {"s": {"total_s": 2.0, "count": 3}}}
+        merged = obs.merge_snapshots(base, [legacy])
+        assert merged["spans"]["s"] == {"total_s": 3.0, "count": 4,
+                                        "child_s": 0.25}
+
+    def test_prom_name_collisions_stay_one_family(self):
+        """`service.x` and `service/x` both sanitize to
+        `repro_service_x`; the rendering must emit one TYPE header
+        with both samples, not a duplicated family."""
+        snap = {"counters": {"service.x/runner=a": 1,
+                             "service x/runner=b": 2}}
+        text = obs.render_prometheus(snap)
+        assert text.count("# TYPE repro_service_x_total counter") == 1
+        assert 'repro_service_x_total{runner="a"} 1' in text
+        assert 'repro_service_x_total{runner="b"} 2' in text
+
+    def test_profile_sections_sum(self):
+        base = {"profile": {"kernels": {"cx": {"total_s": 1.0,
+                                               "calls": 2, "ops": 4}},
+                            "stages": {"decode.dedup":
+                                       {"total_s": 0.5, "calls": 1}},
+                            "paths": {"sample": {"total_s": 2.0,
+                                                 "count": 1,
+                                                 "self_s": 1.0}}}}
+        other = {"profile": {"kernels": {"cx": {"total_s": 0.5,
+                                                "calls": 1, "ops": 2},
+                                         "h": {"total_s": 0.1,
+                                               "calls": 1, "ops": 1}},
+                             "stages": {},
+                             "paths": {"sample": {"total_s": 1.0,
+                                                  "count": 1,
+                                                  "self_s": 0.5}}}}
+        merged = obs.merge_snapshots(base, [other, {"counters": {}}])
+        prof = merged["profile"]
+        assert prof["kernels"]["cx"] == {"total_s": 1.5, "calls": 3,
+                                         "ops": 6}
+        assert prof["kernels"]["h"]["calls"] == 1
+        assert prof["stages"]["decode.dedup"]["calls"] == 1
+        assert prof["paths"]["sample"] == {"total_s": 3.0, "count": 2,
+                                           "self_s": 1.5}
+        # No profile anywhere -> no profile key materialises.
+        assert "profile" not in obs.merge_snapshots(
+            {"counters": {}}, [{"counters": {}}])
+
+
 class TestSession:
     def test_no_sinks_installs_nothing(self):
         with obs.session(telemetry=None, quiet=True) as mon:
@@ -248,8 +340,8 @@ class TestCrashTelemetry:
 
 class TestReport:
     GOLDEN = [
-        {"schema": 1, "seq": 0, "time": 0.0, "kind": "start", "pid": 1},
-        {"schema": 1, "seq": 1, "time": 12.5, "kind": "snapshot",
+        {"schema": 2, "seq": 0, "time": 0.0, "kind": "start", "pid": 1},
+        {"schema": 2, "seq": 1, "time": 12.5, "kind": "snapshot",
          "elapsed_s": 12.5, "final": True,
          "counters": {"engine.shots": 4096, "engine.decisions": 4,
                       "engine.early_stops": 1,
@@ -261,7 +353,8 @@ class TestReport:
                       "scheduler.requeued_leases": 2,
                       "rare.pilot_shots": 6144},
          "gauges": {"rare.pilot_tilt": 8.0, "rare.ess": 512.5},
-         "spans": {"sample": {"total_s": 1.5, "count": 8},
+         "spans": {"sample": {"total_s": 1.5, "count": 8,
+                              "child_s": 0.4},
                    "decode": {"total_s": 0.5, "count": 8}},
          "events": {"scheduler.worker_crash": 1},
          "progress": {"points_done": 2, "points_total": 2,
@@ -279,11 +372,15 @@ class TestReport:
 
     def test_golden_report(self, tmp_path):
         text = render_report(self.golden_path(tmp_path))
-        assert "schema 1, 2 records, final snapshot" in text
+        assert "schema 2, 2 records, final snapshot" in text
         assert "points   2/2 done" in text
         assert "shots    4,096 aggregated (4,096 sampled)" in text
         assert "adaptive 4 watermark decision(s), 1 early stop(s)" in text
         assert "sample" in text and "decode" in text
+        # Self time = total minus nested children; spans without a
+        # child_s field (pre-schema-2 writers) show self == total.
+        assert "1.500s     1.100s self x8" in text
+        assert "0.500s     0.500s self x8" in text
         assert "cache hit rate   80.0% (80 hits / 20 misses)" in text
         assert "leases dispatched  8 (1 steal refill(s))" in text
         assert "worker crashes     1 (2 lease(s) requeued)" in text
